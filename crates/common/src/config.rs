@@ -1,0 +1,175 @@
+//! Engine and cluster configuration.
+//!
+//! The defaults model the paper's testbed shrunk to a single process: the
+//! paper used 1 coordinator + 10 compute + 10 storage nodes (c5.2xlarge,
+//! 8 vCPU, 10 Gbps NIC). Here each "node" is a driver thread pool and the
+//! NIC is a token bucket (see `accordion-net`).
+
+use serde::{Deserialize, Serialize};
+
+/// Top-level engine configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineConfig {
+    pub cluster: ClusterConfig,
+    pub network: NetworkConfig,
+    /// Target rows per page produced by scans and operators.
+    pub page_rows: usize,
+    /// Initial capacity (in pages) of every elastic buffer. The paper starts
+    /// all buffers at the size of one page (§4.2.2).
+    pub initial_buffer_pages: usize,
+    /// Period of the consumer-side elastic buffer resize, milliseconds
+    /// (paper uses e.g. 500 ms; scaled down with our workloads).
+    pub buffer_resize_period_ms: u64,
+    /// Upper bound on elastic buffer capacity, in pages, to keep memory
+    /// bounded even under extreme producer/consumer skew.
+    pub max_buffer_pages: usize,
+    /// Period of the coordinator's runtime-information collection
+    /// (task-info fetchers, Fig 18), milliseconds.
+    pub info_collection_period_ms: u64,
+    /// Quantum: max pages a driver processes before yielding its thread.
+    pub driver_quantum_pages: usize,
+    /// Default stage DOP (tasks per stage) for newly scheduled queries.
+    pub default_stage_dop: u32,
+    /// Default task DOP (drivers per pipeline).
+    pub default_task_dop: u32,
+    /// Simulated cost of one control-plane request, milliseconds. The paper
+    /// reports each RESTful request costs 1–10 ms; we charge a deterministic
+    /// midpoint so scheduling overheads are reportable (§6.2). Set to 0 to
+    /// disable control-plane cost simulation.
+    pub control_request_cost_ms: u64,
+    /// Enable the intermediate-data cache on join build inputs (Fig 17).
+    pub intermediate_cache_enabled: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            cluster: ClusterConfig::default(),
+            network: NetworkConfig::default(),
+            page_rows: 4096,
+            initial_buffer_pages: 1,
+            buffer_resize_period_ms: 100,
+            max_buffer_pages: 256,
+            info_collection_period_ms: 100,
+            driver_quantum_pages: 8,
+            default_stage_dop: 1,
+            default_task_dop: 1,
+            control_request_cost_ms: 0,
+            intermediate_cache_enabled: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A small configuration for unit/integration tests: 2 workers × 2
+    /// threads, small pages, fast collection periods.
+    pub fn for_tests() -> Self {
+        EngineConfig {
+            cluster: ClusterConfig {
+                compute_nodes: 2,
+                threads_per_worker: 2,
+                storage_nodes: 2,
+            },
+            network: NetworkConfig::unlimited(),
+            page_rows: 256,
+            initial_buffer_pages: 1,
+            buffer_resize_period_ms: 20,
+            max_buffer_pages: 64,
+            info_collection_period_ms: 20,
+            driver_quantum_pages: 4,
+            default_stage_dop: 1,
+            default_task_dop: 1,
+            control_request_cost_ms: 0,
+            intermediate_cache_enabled: true,
+        }
+    }
+}
+
+/// Shape of the simulated cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of compute (worker) nodes.
+    pub compute_nodes: u32,
+    /// Driver threads per worker node (paper nodes have 8 vCPUs).
+    pub threads_per_worker: usize,
+    /// Number of storage nodes holding table splits.
+    pub storage_nodes: u32,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            compute_nodes: 4,
+            threads_per_worker: 4,
+            storage_nodes: 4,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Total driver threads across the cluster — the ceiling for useful DOP.
+    pub fn total_threads(&self) -> usize {
+        self.compute_nodes as usize * self.threads_per_worker
+    }
+}
+
+/// Parameters of the simulated data-plane network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Per-node NIC bandwidth in bytes/second (`None` = unlimited).
+    /// The paper's nodes have 10 Gbps NICs.
+    pub nic_bandwidth_bytes_per_sec: Option<u64>,
+    /// One-way latency added to each page transfer, microseconds.
+    pub link_latency_us: u64,
+    /// Maximum bytes returned by one simulated exchange RPC response.
+    pub max_response_bytes: usize,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            nic_bandwidth_bytes_per_sec: None,
+            link_latency_us: 0,
+            max_response_bytes: 4 << 20,
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// No bandwidth cap, no latency — pure shared-memory exchange.
+    pub fn unlimited() -> Self {
+        NetworkConfig::default()
+    }
+
+    /// Cap each node's NIC at `mbps` megabits/second.
+    pub fn with_nic_mbps(mut self, mbps: u64) -> Self {
+        self.nic_bandwidth_bytes_per_sec = Some(mbps * 1_000_000 / 8);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = EngineConfig::default();
+        assert!(c.page_rows > 0);
+        assert!(c.cluster.total_threads() > 0);
+        assert_eq!(c.initial_buffer_pages, 1, "paper: buffers start at 1 page");
+    }
+
+    #[test]
+    fn nic_mbps_conversion() {
+        let n = NetworkConfig::unlimited().with_nic_mbps(80);
+        assert_eq!(n.nic_bandwidth_bytes_per_sec, Some(10_000_000));
+    }
+
+    #[test]
+    fn test_config_is_small() {
+        let c = EngineConfig::for_tests();
+        assert!(c.cluster.total_threads() <= 8);
+        assert!(c.page_rows <= 1024);
+    }
+}

@@ -1,0 +1,30 @@
+//! Common foundation types for the Accordion IQRE engine.
+//!
+//! This crate holds the vocabulary shared by every layer of the engine:
+//!
+//! * [`id`] — strongly-typed identifiers for queries, stages, tasks,
+//!   pipelines, drivers, output buffers, cluster nodes and splits. The
+//!   textual forms follow the paper's conventions (e.g. task `3_0` is task 0
+//!   of stage 3).
+//! * [`error`] — the engine-wide error enum and `Result` alias.
+//! * [`config`] — engine/cluster configuration: node counts, driver thread
+//!   pools, page sizing, buffer and network simulation parameters.
+//! * [`clock`] — a clock abstraction so that time-dependent logic (rate
+//!   meters, the what-if predictor, the auto-tuner) can be unit-tested with a
+//!   manual clock and run in production against the wall clock.
+//! * [`metrics`] — lock-free counters, gauges, windowed rate meters and a
+//!   time-series recorder used by the runtime information collector
+//!   (paper §5.1, Fig 18).
+
+pub mod clock;
+pub mod config;
+pub mod error;
+pub mod id;
+pub mod metrics;
+
+pub use clock::{Clock, ManualClock, SharedClock, SystemClock};
+pub use config::{ClusterConfig, EngineConfig, NetworkConfig};
+pub use error::{AccordionError, Result};
+pub use id::{
+    BufferId, DriverId, NodeId, PipelineId, PlanNodeId, QueryId, SplitId, StageId, TaskId,
+};

@@ -1,0 +1,569 @@
+//! Typed column vectors.
+//!
+//! A [`Column`] stores one attribute of a page in a dense, type-specialized
+//! vector plus an optional validity bitmap (absent bitmap = all valid).
+//! Columns are immutable once built; operators create new columns via
+//! [`ColumnBuilder`] or the vectorized `gather`/`slice` kernels.
+
+use std::sync::Arc;
+
+use crate::types::{DataType, Value};
+
+/// Validity bitmap: bit `i` set ⇒ row `i` is non-null.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Validity {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl Validity {
+    pub fn new_all_valid(len: usize) -> Self {
+        Validity {
+            bits: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    pub fn new_all_null(len: usize) -> Self {
+        Validity {
+            bits: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, valid: bool) {
+        debug_assert!(i < self.len);
+        let (w, b) = (i / 64, i % 64);
+        if valid {
+            self.bits[w] |= 1 << b;
+        } else {
+            self.bits[w] &= !(1 << b);
+        }
+    }
+
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.bits[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of null rows.
+    pub fn null_count(&self) -> usize {
+        let mut valid = 0usize;
+        for (w, word) in self.bits.iter().enumerate() {
+            let bits_in_word = if (w + 1) * 64 <= self.len {
+                64
+            } else {
+                self.len - w * 64
+            };
+            let mask = if bits_in_word == 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits_in_word) - 1
+            };
+            valid += (word & mask).count_ones() as usize;
+        }
+        self.len - valid
+    }
+}
+
+/// A typed, immutable column vector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    Int64(Arc<Vec<i64>>, Option<Arc<Validity>>),
+    Float64(Arc<Vec<f64>>, Option<Arc<Validity>>),
+    Bool(Arc<Vec<bool>>, Option<Arc<Validity>>),
+    Date32(Arc<Vec<i32>>, Option<Arc<Validity>>),
+    Utf8(Arc<Utf8Column>, Option<Arc<Validity>>),
+}
+
+/// Variable-width UTF-8 column stored as a contiguous byte buffer plus
+/// offsets (the classic Arrow layout, rebuilt from scratch here).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Utf8Column {
+    data: Vec<u8>,
+    /// `offsets.len() == row_count + 1`; row `i` spans
+    /// `data[offsets[i]..offsets[i+1]]`.
+    offsets: Vec<u32>,
+}
+
+impl Utf8Column {
+    pub fn from_strings<S: AsRef<str>>(vals: &[S]) -> Self {
+        let mut c = Utf8Column {
+            data: Vec::new(),
+            offsets: Vec::with_capacity(vals.len() + 1),
+        };
+        c.offsets.push(0);
+        for v in vals {
+            c.data.extend_from_slice(v.as_ref().as_bytes());
+            c.offsets.push(c.data.len() as u32);
+        }
+        c
+    }
+
+    pub fn push(&mut self, s: &str) {
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        self.data.extend_from_slice(s.as_bytes());
+        self.offsets.push(self.data.len() as u32);
+    }
+
+    #[inline]
+    pub fn value(&self, i: usize) -> &str {
+        let start = self.offsets[i] as usize;
+        let end = self.offsets[i + 1] as usize;
+        // SAFETY-free: data was built from &str pushes, always valid UTF-8.
+        std::str::from_utf8(&self.data[start..end]).expect("utf8 column corrupted")
+    }
+
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn byte_size(&self) -> usize {
+        self.data.len() + self.offsets.len() * 4
+    }
+}
+
+impl Column {
+    pub fn from_i64(vals: Vec<i64>) -> Self {
+        Column::Int64(Arc::new(vals), None)
+    }
+
+    pub fn from_f64(vals: Vec<f64>) -> Self {
+        Column::Float64(Arc::new(vals), None)
+    }
+
+    pub fn from_bool(vals: Vec<bool>) -> Self {
+        Column::Bool(Arc::new(vals), None)
+    }
+
+    pub fn from_date32(vals: Vec<i32>) -> Self {
+        Column::Date32(Arc::new(vals), None)
+    }
+
+    pub fn from_strings<S: AsRef<str>>(vals: &[S]) -> Self {
+        Column::Utf8(Arc::new(Utf8Column::from_strings(vals)), None)
+    }
+
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Int64(..) => DataType::Int64,
+            Column::Float64(..) => DataType::Float64,
+            Column::Bool(..) => DataType::Bool,
+            Column::Date32(..) => DataType::Date32,
+            Column::Utf8(..) => DataType::Utf8,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int64(v, _) => v.len(),
+            Column::Float64(v, _) => v.len(),
+            Column::Bool(v, _) => v.len(),
+            Column::Date32(v, _) => v.len(),
+            Column::Utf8(v, _) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn validity(&self) -> Option<&Validity> {
+        match self {
+            Column::Int64(_, v)
+            | Column::Float64(_, v)
+            | Column::Bool(_, v)
+            | Column::Date32(_, v)
+            | Column::Utf8(_, v) => v.as_deref(),
+        }
+    }
+
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.validity().map_or(true, |v| v.is_valid(i))
+    }
+
+    pub fn null_count(&self) -> usize {
+        self.validity().map_or(0, |v| v.null_count())
+    }
+
+    /// Approximate heap size in bytes — drives buffer capacity accounting
+    /// (the paper's buffers are sized in bytes/pages).
+    pub fn byte_size(&self) -> usize {
+        let data = match self {
+            Column::Int64(v, _) => v.len() * 8,
+            Column::Float64(v, _) => v.len() * 8,
+            Column::Bool(v, _) => v.len(),
+            Column::Date32(v, _) => v.len() * 4,
+            Column::Utf8(v, _) => v.byte_size(),
+        };
+        data + self.validity().map_or(0, |v| v.len() / 8)
+    }
+
+    /// Scalar accessor (boundary/testing path; hot kernels use the typed
+    /// accessors below).
+    pub fn value(&self, i: usize) -> Value {
+        if !self.is_valid(i) {
+            return Value::Null;
+        }
+        match self {
+            Column::Int64(v, _) => Value::Int64(v[i]),
+            Column::Float64(v, _) => Value::Float64(v[i]),
+            Column::Bool(v, _) => Value::Bool(v[i]),
+            Column::Date32(v, _) => Value::Date32(v[i]),
+            Column::Utf8(v, _) => Value::Utf8(v.value(i).to_string()),
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<&[i64]> {
+        match self {
+            Column::Int64(v, _) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<&[f64]> {
+        match self {
+            Column::Float64(v, _) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<&[bool]> {
+        match self {
+            Column::Bool(v, _) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_date32(&self) -> Option<&[i32]> {
+        match self {
+            Column::Date32(v, _) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_utf8(&self) -> Option<&Utf8Column> {
+        match self {
+            Column::Utf8(v, _) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Materializes `self[indices]` as a new column (the take/gather kernel
+    /// behind filters, joins and sorts).
+    pub fn gather(&self, indices: &[u32]) -> Column {
+        let validity = self.validity().map(|v| {
+            let mut nv = Validity::new_all_valid(indices.len());
+            for (out, &src) in indices.iter().enumerate() {
+                nv.set(out, v.is_valid(src as usize));
+            }
+            Arc::new(nv)
+        });
+        match self {
+            Column::Int64(v, _) => Column::Int64(
+                Arc::new(indices.iter().map(|&i| v[i as usize]).collect()),
+                validity,
+            ),
+            Column::Float64(v, _) => Column::Float64(
+                Arc::new(indices.iter().map(|&i| v[i as usize]).collect()),
+                validity,
+            ),
+            Column::Bool(v, _) => Column::Bool(
+                Arc::new(indices.iter().map(|&i| v[i as usize]).collect()),
+                validity,
+            ),
+            Column::Date32(v, _) => Column::Date32(
+                Arc::new(indices.iter().map(|&i| v[i as usize]).collect()),
+                validity,
+            ),
+            Column::Utf8(v, _) => {
+                let mut out = Utf8Column::default();
+                out.offsets.push(0);
+                for &i in indices {
+                    out.push(v.value(i as usize));
+                }
+                Column::Utf8(Arc::new(out), validity)
+            }
+        }
+    }
+
+    /// Contiguous slice `self[range]` as a new column.
+    pub fn slice(&self, offset: usize, len: usize) -> Column {
+        let indices: Vec<u32> = (offset..offset + len).map(|i| i as u32).collect();
+        self.gather(&indices)
+    }
+
+    /// Vertically concatenates columns of identical type.
+    pub fn concat(cols: &[&Column]) -> Column {
+        assert!(!cols.is_empty(), "concat of zero columns");
+        let total: usize = cols.iter().map(|c| c.len()).sum();
+        let mut b = ColumnBuilder::new(cols[0].data_type(), total);
+        for c in cols {
+            for i in 0..c.len() {
+                b.push(c.value(i));
+            }
+        }
+        b.finish()
+    }
+}
+
+/// Incremental column builder.
+#[derive(Debug)]
+pub enum ColumnBuilder {
+    Int64(Vec<i64>, Vec<bool>),
+    Float64(Vec<f64>, Vec<bool>),
+    Bool(Vec<bool>, Vec<bool>),
+    Date32(Vec<i32>, Vec<bool>),
+    Utf8(Utf8Column, Vec<bool>),
+}
+
+impl ColumnBuilder {
+    pub fn new(dt: DataType, capacity: usize) -> Self {
+        match dt {
+            DataType::Int64 => ColumnBuilder::Int64(Vec::with_capacity(capacity), Vec::new()),
+            DataType::Float64 => ColumnBuilder::Float64(Vec::with_capacity(capacity), Vec::new()),
+            DataType::Bool => ColumnBuilder::Bool(Vec::with_capacity(capacity), Vec::new()),
+            DataType::Date32 => ColumnBuilder::Date32(Vec::with_capacity(capacity), Vec::new()),
+            DataType::Utf8 => ColumnBuilder::Utf8(Utf8Column::default(), Vec::new()),
+        }
+    }
+
+    /// Appends a value; `Value::Null` appends a null of the builder's type.
+    /// Int64⇄Float64 coercion is performed to match analyzer semantics.
+    pub fn push(&mut self, v: Value) {
+        match self {
+            ColumnBuilder::Int64(data, nulls) => match v {
+                Value::Int64(x) => {
+                    data.push(x);
+                    nulls.push(false);
+                }
+                Value::Date32(x) => {
+                    data.push(x as i64);
+                    nulls.push(false);
+                }
+                Value::Null => {
+                    data.push(0);
+                    nulls.push(true);
+                }
+                other => panic!("type mismatch pushing {other:?} into Int64 builder"),
+            },
+            ColumnBuilder::Float64(data, nulls) => match v {
+                Value::Float64(x) => {
+                    data.push(x);
+                    nulls.push(false);
+                }
+                Value::Int64(x) => {
+                    data.push(x as f64);
+                    nulls.push(false);
+                }
+                Value::Null => {
+                    data.push(0.0);
+                    nulls.push(true);
+                }
+                other => panic!("type mismatch pushing {other:?} into Float64 builder"),
+            },
+            ColumnBuilder::Bool(data, nulls) => match v {
+                Value::Bool(x) => {
+                    data.push(x);
+                    nulls.push(false);
+                }
+                Value::Null => {
+                    data.push(false);
+                    nulls.push(true);
+                }
+                other => panic!("type mismatch pushing {other:?} into Bool builder"),
+            },
+            ColumnBuilder::Date32(data, nulls) => match v {
+                Value::Date32(x) => {
+                    data.push(x);
+                    nulls.push(false);
+                }
+                Value::Int64(x) => {
+                    data.push(x as i32);
+                    nulls.push(false);
+                }
+                Value::Null => {
+                    data.push(0);
+                    nulls.push(true);
+                }
+                other => panic!("type mismatch pushing {other:?} into Date32 builder"),
+            },
+            ColumnBuilder::Utf8(data, nulls) => match v {
+                Value::Utf8(x) => {
+                    data.push(&x);
+                    nulls.push(false);
+                }
+                Value::Null => {
+                    data.push("");
+                    nulls.push(true);
+                }
+                other => panic!("type mismatch pushing {other:?} into Utf8 builder"),
+            },
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnBuilder::Int64(d, _) => d.len(),
+            ColumnBuilder::Float64(d, _) => d.len(),
+            ColumnBuilder::Bool(d, _) => d.len(),
+            ColumnBuilder::Date32(d, _) => d.len(),
+            ColumnBuilder::Utf8(d, _) => d.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn finish(self) -> Column {
+        fn validity(nulls: &[bool]) -> Option<Arc<Validity>> {
+            if nulls.iter().any(|&n| n) {
+                let mut v = Validity::new_all_valid(nulls.len());
+                for (i, &n) in nulls.iter().enumerate() {
+                    if n {
+                        v.set(i, false);
+                    }
+                }
+                Some(Arc::new(v))
+            } else {
+                None
+            }
+        }
+        match self {
+            ColumnBuilder::Int64(d, n) => {
+                let v = validity(&n);
+                Column::Int64(Arc::new(d), v)
+            }
+            ColumnBuilder::Float64(d, n) => {
+                let v = validity(&n);
+                Column::Float64(Arc::new(d), v)
+            }
+            ColumnBuilder::Bool(d, n) => {
+                let v = validity(&n);
+                Column::Bool(Arc::new(d), v)
+            }
+            ColumnBuilder::Date32(d, n) => {
+                let v = validity(&n);
+                Column::Date32(Arc::new(d), v)
+            }
+            ColumnBuilder::Utf8(d, n) => {
+                let v = validity(&n);
+                Column::Utf8(Arc::new(d), v)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validity_bitmap() {
+        let mut v = Validity::new_all_valid(70);
+        assert_eq!(v.null_count(), 0);
+        v.set(0, false);
+        v.set(65, false);
+        assert!(!v.is_valid(0));
+        assert!(v.is_valid(1));
+        assert!(!v.is_valid(65));
+        assert_eq!(v.null_count(), 2);
+        let n = Validity::new_all_null(10);
+        assert_eq!(n.null_count(), 10);
+    }
+
+    #[test]
+    fn utf8_column_roundtrip() {
+        let c = Utf8Column::from_strings(&["hello", "", "world"]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.value(0), "hello");
+        assert_eq!(c.value(1), "");
+        assert_eq!(c.value(2), "world");
+    }
+
+    #[test]
+    fn gather_preserves_values_and_nulls() {
+        let mut b = ColumnBuilder::new(DataType::Int64, 4);
+        b.push(Value::Int64(10));
+        b.push(Value::Null);
+        b.push(Value::Int64(30));
+        b.push(Value::Int64(40));
+        let c = b.finish();
+        assert_eq!(c.null_count(), 1);
+        let g = c.gather(&[3, 1, 0]);
+        assert_eq!(g.value(0), Value::Int64(40));
+        assert_eq!(g.value(1), Value::Null);
+        assert_eq!(g.value(2), Value::Int64(10));
+        assert_eq!(g.null_count(), 1);
+    }
+
+    #[test]
+    fn gather_strings() {
+        let c = Column::from_strings(&["a", "bb", "ccc"]);
+        let g = c.gather(&[2, 0]);
+        assert_eq!(g.value(0), Value::Utf8("ccc".into()));
+        assert_eq!(g.value(1), Value::Utf8("a".into()));
+    }
+
+    #[test]
+    fn slice_and_concat() {
+        let c = Column::from_i64(vec![1, 2, 3, 4, 5]);
+        let s = c.slice(1, 3);
+        assert_eq!(s.as_i64().unwrap(), &[2, 3, 4]);
+        let joined = Column::concat(&[&s, &c]);
+        assert_eq!(joined.len(), 8);
+        assert_eq!(joined.value(3), Value::Int64(1));
+    }
+
+    #[test]
+    fn byte_size_accounts_data() {
+        let c = Column::from_i64(vec![0; 100]);
+        assert_eq!(c.byte_size(), 800);
+        let s = Column::from_strings(&["abcd"; 10]);
+        assert_eq!(s.byte_size(), 40 + 11 * 4);
+    }
+
+    #[test]
+    fn builder_coerces_ints_to_float() {
+        let mut b = ColumnBuilder::new(DataType::Float64, 2);
+        b.push(Value::Int64(2));
+        b.push(Value::Float64(0.5));
+        let c = b.finish();
+        assert_eq!(c.as_f64().unwrap(), &[2.0, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn builder_rejects_wrong_type() {
+        let mut b = ColumnBuilder::new(DataType::Int64, 1);
+        b.push(Value::Utf8("oops".into()));
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let c = Column::from_bool(vec![true, false]);
+        assert_eq!(c.as_bool().unwrap(), &[true, false]);
+        assert!(c.as_i64().is_none());
+        let d = Column::from_date32(vec![7]);
+        assert_eq!(d.as_date32().unwrap(), &[7]);
+        assert_eq!(d.data_type(), DataType::Date32);
+    }
+}

@@ -1,0 +1,186 @@
+//! Row hashing for hash-partitioned shuffles and hash tables.
+//!
+//! The hash function must be **stable across tasks and nodes** because the
+//! paper's shuffle buffers repartition cached pages when the downstream DOP
+//! changes (§4.2.1, §4.5): the same row must land in a deterministic
+//! partition for any partition count. We therefore use a fixed
+//! multiply-xor mix (an FxHash/wyhash-style construction implemented here
+//! from scratch) rather than std's randomly-seeded SipHash.
+
+use crate::column::Column;
+use crate::page::DataPage;
+
+const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+#[inline]
+fn mix(mut h: u64, v: u64) -> u64 {
+    h ^= v.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h = h.rotate_left(31);
+    h.wrapping_mul(0xC4CE_B9FE_1A85_EC53)
+}
+
+#[inline]
+fn finalize(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    h ^ (h >> 33)
+}
+
+/// Hashes one scalar cell into an accumulator.
+#[inline]
+fn hash_cell(col: &Column, row: usize, acc: u64) -> u64 {
+    if !col.is_valid(row) {
+        return mix(acc, 0xDEAD_BEEF_0BAD_F00D);
+    }
+    match col {
+        Column::Int64(v, _) => mix(acc, v[row] as u64),
+        Column::Date32(v, _) => mix(acc, v[row] as u64),
+        Column::Bool(v, _) => mix(acc, v[row] as u64 + 1),
+        Column::Float64(v, _) => mix(acc, v[row].to_bits()),
+        Column::Utf8(v, _) => {
+            let s = v.value(row).as_bytes();
+            let mut h = mix(acc, s.len() as u64);
+            for chunk in s.chunks(8) {
+                let mut word = [0u8; 8];
+                word[..chunk.len()].copy_from_slice(chunk);
+                h = mix(h, u64::from_le_bytes(word));
+            }
+            h
+        }
+    }
+}
+
+/// Hashes the key columns (`key_indices`) of every row in `page`.
+pub fn hash_rows(page: &DataPage, key_indices: &[usize]) -> Vec<u64> {
+    let n = page.row_count();
+    let mut hashes = vec![SEED; n];
+    for &ki in key_indices {
+        let col = page.column(ki);
+        for (row, h) in hashes.iter_mut().enumerate() {
+            *h = hash_cell(col, row, *h);
+        }
+    }
+    for h in hashes.iter_mut() {
+        *h = finalize(*h);
+    }
+    hashes
+}
+
+/// Maps a hash to one of `partitions` buckets.
+#[inline]
+pub fn partition_of(hash: u64, partitions: u32) -> u32 {
+    debug_assert!(partitions > 0);
+    // Multiply-shift avoids the modulo and keeps high-entropy bits.
+    (((hash >> 32) * partitions as u64) >> 32) as u32
+}
+
+/// Splits `page` into `partitions` pages by key hash. Returns one (possibly
+/// empty) page per partition. This is the kernel inside the shuffle buffer's
+/// shuffle executors (paper Fig 10b).
+pub fn hash_partition(page: &DataPage, key_indices: &[usize], partitions: u32) -> Vec<DataPage> {
+    let hashes = hash_rows(page, key_indices);
+    let mut index_lists: Vec<Vec<u32>> = vec![Vec::new(); partitions as usize];
+    for (row, h) in hashes.iter().enumerate() {
+        index_lists[partition_of(*h, partitions) as usize].push(row as u32);
+    }
+    index_lists
+        .into_iter()
+        .map(|idx| page.gather(&idx))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn key_page(keys: Vec<i64>) -> DataPage {
+        let n = keys.len();
+        DataPage::new(vec![
+            Column::from_i64(keys),
+            Column::from_i64((0..n as i64).collect()),
+        ])
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let p = key_page(vec![1, 2, 3, 1]);
+        let h1 = hash_rows(&p, &[0]);
+        let h2 = hash_rows(&p, &[0]);
+        assert_eq!(h1, h2);
+        assert_eq!(h1[0], h1[3], "equal keys hash equal");
+        assert_ne!(h1[0], h1[1], "different keys should differ (whp)");
+    }
+
+    #[test]
+    fn hash_covers_multiple_key_columns() {
+        let p = DataPage::new(vec![
+            Column::from_i64(vec![1, 1]),
+            Column::from_strings(&["x", "y"]),
+        ]);
+        let h = hash_rows(&p, &[0, 1]);
+        assert_ne!(h[0], h[1]);
+        let h_first_only = hash_rows(&p, &[0]);
+        assert_eq!(h_first_only[0], h_first_only[1]);
+    }
+
+    #[test]
+    fn partition_of_in_range() {
+        for parts in [1u32, 2, 3, 7, 64] {
+            for h in [0u64, 1, u64::MAX, 0x1234_5678_9ABC_DEF0] {
+                assert!(partition_of(h, parts) < parts);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_union_preserves_rows() {
+        let p = key_page((0..1000).collect());
+        let parts = hash_partition(&p, &[0], 7);
+        assert_eq!(parts.len(), 7);
+        let total: usize = parts.iter().map(|p| p.row_count()).sum();
+        assert_eq!(total, 1000);
+        // Partitioning is reasonably balanced for sequential keys.
+        for part in &parts {
+            assert!(part.row_count() > 50, "partition too small: {}", part.row_count());
+        }
+    }
+
+    #[test]
+    fn repartitioning_is_consistent() {
+        // A row that lands in partition i of n must land in a deterministic
+        // partition for m as well — DOP switching relies on stability.
+        let p = key_page(vec![42; 10]);
+        let by4 = hash_partition(&p, &[0], 4);
+        let by6 = hash_partition(&p, &[0], 6);
+        let n4: Vec<usize> = by4.iter().map(|p| p.row_count()).collect();
+        let n6: Vec<usize> = by6.iter().map(|p| p.row_count()).collect();
+        // All identical keys land in exactly one partition in both layouts.
+        assert_eq!(n4.iter().filter(|&&c| c > 0).count(), 1);
+        assert_eq!(n6.iter().filter(|&&c| c > 0).count(), 1);
+        assert_eq!(n4.iter().sum::<usize>(), 10);
+        assert_eq!(n6.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn null_hashes_consistently() {
+        use crate::column::ColumnBuilder;
+        use crate::types::{DataType, Value};
+        let mut b = ColumnBuilder::new(DataType::Int64, 2);
+        b.push(Value::Null);
+        b.push(Value::Null);
+        let p = DataPage::new(vec![b.finish()]);
+        let h = hash_rows(&p, &[0]);
+        assert_eq!(h[0], h[1]);
+    }
+
+    #[test]
+    fn float_hash_uses_bits() {
+        let p = DataPage::new(vec![Column::from_f64(vec![1.0, 1.0, 2.0])]);
+        let h = hash_rows(&p, &[0]);
+        assert_eq!(h[0], h[1]);
+        assert_ne!(h[0], h[2]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Named, typed schemas for pages and plan nodes.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::types::DataType;
+
+/// One attribute of a schema.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Field {
+    pub name: String,
+    pub data_type: DataType,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.data_type)
+    }
+}
+
+/// Ordered collection of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+/// Shared schema handle: schemas are widely copied across plan fragments,
+/// tasks and pages, so they are reference-counted.
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    pub fn empty() -> Self {
+        Schema { fields: vec![] }
+    }
+
+    pub fn shared(fields: Vec<Field>) -> SchemaRef {
+        Arc::new(Schema::new(fields))
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Index of the field with the given name (case-sensitive exact match).
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Projects a subset of fields into a new schema.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema {
+            fields: indices.iter().map(|&i| self.fields[i].clone()).collect(),
+        }
+    }
+
+    /// Horizontal concatenation (e.g. join output = probe ++ build fields).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(other.fields.iter().cloned());
+        Schema { fields }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, fd) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{fd}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Utf8),
+            Field::new("c", DataType::Float64),
+        ])
+    }
+
+    #[test]
+    fn index_of_and_field() {
+        let s = abc();
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert_eq!(s.field(2).data_type, DataType::Float64);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn project_reorders() {
+        let s = abc().project(&[2, 0]);
+        assert_eq!(s.field(0).name, "c");
+        assert_eq!(s.field(1).name, "a");
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let s = abc().join(&Schema::new(vec![Field::new("d", DataType::Bool)]));
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.field(3).name, "d");
+    }
+
+    #[test]
+    fn display_format() {
+        let s = Schema::new(vec![Field::new("x", DataType::Int64)]);
+        assert_eq!(s.to_string(), "(x: INT64)");
+        assert!(Schema::empty().is_empty());
+    }
+}

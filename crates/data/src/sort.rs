@@ -1,0 +1,248 @@
+//! Multi-column sorting and Top-N selection.
+//!
+//! Used by the ORDER BY / TopN operators (e.g. TPC-H Q3's
+//! `ORDER BY revenue DESC, o_orderdate LIMIT 10`).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::page::DataPage;
+use crate::types::Value;
+
+/// One ORDER BY term: a column index plus direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortKey {
+    pub column: usize,
+    pub descending: bool,
+}
+
+impl SortKey {
+    pub fn asc(column: usize) -> Self {
+        SortKey {
+            column,
+            descending: false,
+        }
+    }
+
+    pub fn desc(column: usize) -> Self {
+        SortKey {
+            column,
+            descending: true,
+        }
+    }
+}
+
+/// Compares row `a` of `pa` with row `b` of `pb` under `keys`.
+pub fn compare_rows(
+    pa: &DataPage,
+    a: usize,
+    pb: &DataPage,
+    b: usize,
+    keys: &[SortKey],
+) -> Ordering {
+    for k in keys {
+        let va = pa.column(k.column).value(a);
+        let vb = pb.column(k.column).value(b);
+        let ord = va.total_cmp(&vb);
+        let ord = if k.descending { ord.reverse() } else { ord };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Fully sorts a page by `keys`, returning a new page.
+pub fn sort_page(page: &DataPage, keys: &[SortKey]) -> DataPage {
+    let mut indices: Vec<u32> = (0..page.row_count() as u32).collect();
+    indices.sort_by(|&a, &b| compare_rows(page, a as usize, page, b as usize, keys));
+    page.gather(&indices)
+}
+
+/// Streaming Top-N accumulator: feeds pages in, keeps the N smallest rows
+/// under `keys` (i.e. the first N of the total order — for DESC keys this is
+/// the "largest" in user terms).
+#[derive(Debug)]
+pub struct TopNAccumulator {
+    keys: Vec<SortKey>,
+    n: usize,
+    /// Max-heap of (row values snapshot). The heap root is the *worst* of
+    /// the current top-N, evicted when a better row arrives.
+    heap: BinaryHeap<HeapRow>,
+}
+
+#[derive(Debug)]
+struct HeapRow {
+    sort_values: Vec<Value>,
+    full_row: Vec<Value>,
+    descending: Vec<bool>,
+}
+
+impl HeapRow {
+    fn cmp_keys(&self, other: &Self) -> Ordering {
+        for ((a, b), desc) in self
+            .sort_values
+            .iter()
+            .zip(&other.sort_values)
+            .zip(&self.descending)
+        {
+            let ord = a.total_cmp(b);
+            let ord = if *desc { ord.reverse() } else { ord };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialEq for HeapRow {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_keys(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapRow {}
+impl PartialOrd for HeapRow {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapRow {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_keys(other)
+    }
+}
+
+impl TopNAccumulator {
+    pub fn new(keys: Vec<SortKey>, n: usize) -> Self {
+        TopNAccumulator {
+            keys,
+            n,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Number of rows currently retained (≤ n).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Feeds a page of candidate rows.
+    pub fn push_page(&mut self, page: &DataPage) {
+        if self.n == 0 {
+            return;
+        }
+        let descending: Vec<bool> = self.keys.iter().map(|k| k.descending).collect();
+        for row in 0..page.row_count() {
+            let sort_values: Vec<Value> = self
+                .keys
+                .iter()
+                .map(|k| page.column(k.column).value(row))
+                .collect();
+            let candidate = HeapRow {
+                sort_values,
+                full_row: page.row(row),
+                descending: descending.clone(),
+            };
+            if self.heap.len() < self.n {
+                self.heap.push(candidate);
+            } else if let Some(worst) = self.heap.peek() {
+                if candidate.cmp_keys(worst) == Ordering::Less {
+                    self.heap.pop();
+                    self.heap.push(candidate);
+                }
+            }
+        }
+    }
+
+    /// Extracts the retained rows in sorted order.
+    pub fn finish_rows(self) -> Vec<Vec<Value>> {
+        let mut rows: Vec<HeapRow> = self.heap.into_vec();
+        rows.sort_by(|a, b| a.cmp_keys(b));
+        rows.into_iter().map(|r| r.full_row).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn page(keys: Vec<i64>, payload: Vec<i64>) -> DataPage {
+        DataPage::new(vec![Column::from_i64(keys), Column::from_i64(payload)])
+    }
+
+    #[test]
+    fn sort_asc_desc() {
+        let p = page(vec![3, 1, 2], vec![30, 10, 20]);
+        let asc = sort_page(&p, &[SortKey::asc(0)]);
+        assert_eq!(asc.column(1).as_i64().unwrap(), &[10, 20, 30]);
+        let desc = sort_page(&p, &[SortKey::desc(0)]);
+        assert_eq!(desc.column(1).as_i64().unwrap(), &[30, 20, 10]);
+    }
+
+    #[test]
+    fn sort_multi_key_with_ties() {
+        let p = DataPage::new(vec![
+            Column::from_i64(vec![1, 1, 0]),
+            Column::from_strings(&["b", "a", "z"]),
+        ]);
+        let sorted = sort_page(&p, &[SortKey::asc(0), SortKey::asc(1)]);
+        assert_eq!(
+            sorted.column(1).value(0),
+            Value::Utf8("z".into()),
+            "key 0 dominates"
+        );
+        assert_eq!(sorted.column(1).value(1), Value::Utf8("a".into()));
+        assert_eq!(sorted.column(1).value(2), Value::Utf8("b".into()));
+    }
+
+    #[test]
+    fn topn_matches_full_sort() {
+        let keys = vec![SortKey::desc(0)];
+        let p1 = page(vec![5, 1, 9], vec![50, 10, 90]);
+        let p2 = page(vec![7, 3, 8], vec![70, 30, 80]);
+        let mut acc = TopNAccumulator::new(keys.clone(), 3);
+        acc.push_page(&p1);
+        acc.push_page(&p2);
+        let rows = acc.finish_rows();
+        let got: Vec<i64> = rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        assert_eq!(got, vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn topn_smaller_than_n() {
+        let mut acc = TopNAccumulator::new(vec![SortKey::asc(0)], 10);
+        acc.push_page(&page(vec![2, 1], vec![0, 0]));
+        assert_eq!(acc.len(), 2);
+        let rows = acc.finish_rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0], Value::Int64(1));
+    }
+
+    #[test]
+    fn topn_zero_keeps_nothing() {
+        let mut acc = TopNAccumulator::new(vec![SortKey::asc(0)], 0);
+        acc.push_page(&page(vec![1, 2, 3], vec![0, 0, 0]));
+        assert!(acc.is_empty());
+        assert!(acc.finish_rows().is_empty());
+    }
+
+    #[test]
+    fn compare_rows_across_pages() {
+        let a = page(vec![1], vec![0]);
+        let b = page(vec![2], vec![0]);
+        assert_eq!(
+            compare_rows(&a, 0, &b, 0, &[SortKey::asc(0)]),
+            Ordering::Less
+        );
+        assert_eq!(
+            compare_rows(&a, 0, &b, 0, &[SortKey::desc(0)]),
+            Ordering::Greater
+        );
+    }
+}

@@ -1,0 +1,417 @@
+//! Aggregate functions in the two-phase model.
+//!
+//! The paper (§4.1) keeps aggregation elastic by splitting it: the
+//! **partial** phase runs in the scan-side stage at any parallelism (its
+//! per-task state is reconstructible, so tasks/drivers can come and go), and
+//! the **final** phase merges all partial states at parallelism 1.
+//!
+//! An [`AggSpec`] describes one aggregate call; [`AggState`] is the
+//! accumulator. Partial states serialize into ordinary page columns
+//! ([`AggState::partial_values`] / [`AggSpec::partial_state_types`]), so the
+//! exchange between partial and final stages is plain page flow.
+
+use std::fmt;
+
+use accordion_common::{AccordionError, Result};
+use accordion_data::types::{DataType, Value};
+
+use crate::scalar::Expr;
+
+/// Which aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggKind {
+    /// COUNT(expr) / COUNT(*) when `input` is `None`.
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl fmt::Display for AggKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggKind::Count => "count",
+            AggKind::Sum => "sum",
+            AggKind::Avg => "avg",
+            AggKind::Min => "min",
+            AggKind::Max => "max",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One aggregate call in a plan: `kind(input)` named `name`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    pub kind: AggKind,
+    /// Argument expression; `None` only for COUNT(*).
+    pub input: Option<Expr>,
+    /// Output column name.
+    pub name: String,
+    /// Input value type (set by the analyzer/planner; used to pick the
+    /// accumulator representation).
+    pub input_type: DataType,
+}
+
+impl AggSpec {
+    pub fn count_star(name: impl Into<String>) -> Self {
+        AggSpec {
+            kind: AggKind::Count,
+            input: None,
+            name: name.into(),
+            input_type: DataType::Int64,
+        }
+    }
+
+    pub fn new(kind: AggKind, input: Expr, input_type: DataType, name: impl Into<String>) -> Self {
+        AggSpec {
+            kind,
+            input: Some(input),
+            name: name.into(),
+            input_type,
+        }
+    }
+
+    /// Output type of the *final* result.
+    pub fn output_type(&self) -> DataType {
+        match self.kind {
+            AggKind::Count => DataType::Int64,
+            AggKind::Avg => DataType::Float64,
+            AggKind::Sum => match self.input_type {
+                DataType::Int64 => DataType::Int64,
+                _ => DataType::Float64,
+            },
+            AggKind::Min | AggKind::Max => self.input_type,
+        }
+    }
+
+    /// Column types of the serialized partial state (what flows between the
+    /// partial-agg stage and the final-agg stage).
+    pub fn partial_state_types(&self) -> Vec<DataType> {
+        match self.kind {
+            AggKind::Count => vec![DataType::Int64],
+            AggKind::Sum => vec![self.output_type()],
+            AggKind::Avg => vec![DataType::Float64, DataType::Int64],
+            AggKind::Min | AggKind::Max => vec![self.input_type],
+        }
+    }
+
+    pub fn new_state(&self) -> AggState {
+        match self.kind {
+            AggKind::Count => AggState::Count(0),
+            AggKind::Sum => match self.input_type {
+                DataType::Int64 => AggState::SumInt(0, false),
+                _ => AggState::SumFloat(0.0, false),
+            },
+            AggKind::Avg => AggState::Avg { sum: 0.0, count: 0 },
+            AggKind::Min => AggState::Min(None),
+            AggKind::Max => AggState::Max(None),
+        }
+    }
+}
+
+/// Accumulator for one aggregate over one group.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggState {
+    Count(i64),
+    /// (sum, saw_any) — SQL SUM over zero rows is NULL.
+    SumInt(i64, bool),
+    SumFloat(f64, bool),
+    Avg { sum: f64, count: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl AggState {
+    /// Feeds one raw input value (partial phase). NULL inputs are ignored
+    /// per SQL semantics, except COUNT(*) which is fed `Value::Int64(1)` by
+    /// the operator.
+    pub fn update(&mut self, v: &Value) {
+        if v.is_null() {
+            return;
+        }
+        match self {
+            AggState::Count(c) => *c += 1,
+            AggState::SumInt(s, any) => {
+                if let Some(x) = v.as_i64() {
+                    *s += x;
+                    *any = true;
+                }
+            }
+            AggState::SumFloat(s, any) => {
+                if let Some(x) = v.as_f64() {
+                    *s += x;
+                    *any = true;
+                }
+            }
+            AggState::Avg { sum, count } => {
+                if let Some(x) = v.as_f64() {
+                    *sum += x;
+                    *count += 1;
+                }
+            }
+            AggState::Min(cur) => {
+                let replace = match cur {
+                    None => true,
+                    Some(c) => v.total_cmp(c) == std::cmp::Ordering::Less,
+                };
+                if replace {
+                    *cur = Some(v.clone());
+                }
+            }
+            AggState::Max(cur) => {
+                let replace = match cur {
+                    None => true,
+                    Some(c) => v.total_cmp(c) == std::cmp::Ordering::Greater,
+                };
+                if replace {
+                    *cur = Some(v.clone());
+                }
+            }
+        }
+    }
+
+    /// Serializes this state into partial columns (see
+    /// [`AggSpec::partial_state_types`]).
+    pub fn partial_values(&self) -> Vec<Value> {
+        match self {
+            AggState::Count(c) => vec![Value::Int64(*c)],
+            AggState::SumInt(s, any) => vec![if *any { Value::Int64(*s) } else { Value::Null }],
+            AggState::SumFloat(s, any) => {
+                vec![if *any { Value::Float64(*s) } else { Value::Null }]
+            }
+            AggState::Avg { sum, count } => vec![Value::Float64(*sum), Value::Int64(*count)],
+            AggState::Min(v) | AggState::Max(v) => {
+                vec![v.clone().unwrap_or(Value::Null)]
+            }
+        }
+    }
+
+    /// Merges a serialized partial state (final phase).
+    pub fn merge_partial(&mut self, partial: &[Value]) -> Result<()> {
+        match self {
+            AggState::Count(c) => {
+                let v = partial_scalar(partial, 0)?;
+                if let Some(x) = v.as_i64() {
+                    *c += x;
+                }
+            }
+            AggState::SumInt(s, any) => {
+                let v = partial_scalar(partial, 0)?;
+                if let Some(x) = v.as_i64() {
+                    *s += x;
+                    *any = true;
+                }
+            }
+            AggState::SumFloat(s, any) => {
+                let v = partial_scalar(partial, 0)?;
+                if let Some(x) = v.as_f64() {
+                    *s += x;
+                    *any = true;
+                }
+            }
+            AggState::Avg { sum, count } => {
+                let sv = partial_scalar(partial, 0)?;
+                let cv = partial_scalar(partial, 1)?;
+                if let (Some(s2), Some(c2)) = (sv.as_f64(), cv.as_i64()) {
+                    *sum += s2;
+                    *count += c2;
+                }
+            }
+            AggState::Min(cur) => {
+                let v = partial_scalar(partial, 0)?;
+                if !v.is_null() {
+                    let replace = match cur {
+                        None => true,
+                        Some(c) => v.total_cmp(c) == std::cmp::Ordering::Less,
+                    };
+                    if replace {
+                        *cur = Some(v.clone());
+                    }
+                }
+            }
+            AggState::Max(cur) => {
+                let v = partial_scalar(partial, 0)?;
+                if !v.is_null() {
+                    let replace = match cur {
+                        None => true,
+                        Some(c) => v.total_cmp(c) == std::cmp::Ordering::Greater,
+                    };
+                    if replace {
+                        *cur = Some(v.clone());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Produces the final output value.
+    pub fn finish(&self) -> Value {
+        match self {
+            AggState::Count(c) => Value::Int64(*c),
+            AggState::SumInt(s, any) => {
+                if *any {
+                    Value::Int64(*s)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::SumFloat(s, any) => {
+                if *any {
+                    Value::Float64(*s)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::Avg { sum, count } => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float64(*sum / *count as f64)
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => v.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+fn partial_scalar(partial: &[Value], i: usize) -> Result<&Value> {
+    partial.get(i).ok_or_else(|| {
+        AccordionError::Internal(format!(
+            "partial state arity mismatch: wanted index {i}, got {} values",
+            partial.len()
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(spec: &AggSpec, values: &[Value]) -> AggState {
+        let mut s = spec.new_state();
+        for v in values {
+            s.update(v);
+        }
+        s
+    }
+
+    #[test]
+    fn count_ignores_nulls() {
+        let spec = AggSpec::new(
+            AggKind::Count,
+            Expr::col(0),
+            DataType::Int64,
+            "c",
+        );
+        let s = feed(
+            &spec,
+            &[Value::Int64(1), Value::Null, Value::Int64(3)],
+        );
+        assert_eq!(s.finish(), Value::Int64(2));
+    }
+
+    #[test]
+    fn sum_int_and_float() {
+        let spec = AggSpec::new(AggKind::Sum, Expr::col(0), DataType::Int64, "s");
+        let s = feed(&spec, &[Value::Int64(1), Value::Int64(2)]);
+        assert_eq!(s.finish(), Value::Int64(3));
+        let fspec = AggSpec::new(AggKind::Sum, Expr::col(0), DataType::Float64, "s");
+        let s = feed(&fspec, &[Value::Float64(0.5), Value::Float64(1.5)]);
+        assert_eq!(s.finish(), Value::Float64(2.0));
+    }
+
+    #[test]
+    fn sum_of_no_rows_is_null() {
+        let spec = AggSpec::new(AggKind::Sum, Expr::col(0), DataType::Int64, "s");
+        assert_eq!(spec.new_state().finish(), Value::Null);
+        let s = feed(&spec, &[Value::Null]);
+        assert_eq!(s.finish(), Value::Null);
+    }
+
+    #[test]
+    fn avg_merges_correctly() {
+        let spec = AggSpec::new(AggKind::Avg, Expr::col(0), DataType::Float64, "a");
+        let s1 = feed(&spec, &[Value::Float64(1.0), Value::Float64(2.0)]);
+        let s2 = feed(&spec, &[Value::Float64(6.0)]);
+        let mut merged = spec.new_state();
+        merged.merge_partial(&s1.partial_values()).unwrap();
+        merged.merge_partial(&s2.partial_values()).unwrap();
+        assert_eq!(merged.finish(), Value::Float64(3.0));
+    }
+
+    #[test]
+    fn min_max_over_strings_and_dates() {
+        let spec = AggSpec::new(AggKind::Min, Expr::col(0), DataType::Utf8, "m");
+        let s = feed(
+            &spec,
+            &[Value::Utf8("b".into()), Value::Utf8("a".into())],
+        );
+        assert_eq!(s.finish(), Value::Utf8("a".into()));
+        let spec = AggSpec::new(AggKind::Max, Expr::col(0), DataType::Date32, "m");
+        let s = feed(&spec, &[Value::Date32(5), Value::Date32(9)]);
+        assert_eq!(s.finish(), Value::Date32(9));
+    }
+
+    #[test]
+    fn partial_final_equals_direct_for_all_kinds() {
+        // The elasticity-critical invariant: splitting the input stream in
+        // any way and merging partials gives the same answer as one pass.
+        let data: Vec<Value> = (1..=10).map(Value::Int64).collect();
+        for kind in [
+            AggKind::Count,
+            AggKind::Sum,
+            AggKind::Avg,
+            AggKind::Min,
+            AggKind::Max,
+        ] {
+            let spec = AggSpec::new(kind, Expr::col(0), DataType::Int64, "x");
+            let direct = feed(&spec, &data);
+            // Split into 3 uneven chunks.
+            let mut merged = spec.new_state();
+            for chunk in [&data[0..2], &data[2..7], &data[7..10]] {
+                let mut partial = spec.new_state();
+                for v in chunk {
+                    partial.update(v);
+                }
+                merged.merge_partial(&partial.partial_values()).unwrap();
+            }
+            assert_eq!(merged.finish(), direct.finish(), "kind {kind}");
+        }
+    }
+
+    #[test]
+    fn count_star_spec() {
+        let spec = AggSpec::count_star("cnt");
+        assert_eq!(spec.output_type(), DataType::Int64);
+        assert!(spec.input.is_none());
+        let mut s = spec.new_state();
+        s.update(&Value::Int64(1));
+        s.update(&Value::Int64(1));
+        assert_eq!(s.finish(), Value::Int64(2));
+    }
+
+    #[test]
+    fn output_and_partial_types() {
+        let avg = AggSpec::new(AggKind::Avg, Expr::col(0), DataType::Int64, "a");
+        assert_eq!(avg.output_type(), DataType::Float64);
+        assert_eq!(
+            avg.partial_state_types(),
+            vec![DataType::Float64, DataType::Int64]
+        );
+        let sum_f = AggSpec::new(AggKind::Sum, Expr::col(0), DataType::Float64, "s");
+        assert_eq!(sum_f.output_type(), DataType::Float64);
+        let min_s = AggSpec::new(AggKind::Min, Expr::col(0), DataType::Utf8, "m");
+        assert_eq!(min_s.output_type(), DataType::Utf8);
+        assert_eq!(min_s.partial_state_types(), vec![DataType::Utf8]);
+    }
+
+    #[test]
+    fn merge_arity_mismatch_errors() {
+        let spec = AggSpec::new(AggKind::Avg, Expr::col(0), DataType::Float64, "a");
+        let mut s = spec.new_state();
+        assert!(s.merge_partial(&[Value::Float64(1.0)]).is_err());
+    }
+}

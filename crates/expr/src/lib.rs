@@ -1,0 +1,17 @@
+//! Vectorized expression evaluation and aggregate functions.
+//!
+//! * [`scalar`] — the scalar expression tree ([`scalar::Expr`]) and its
+//!   vectorized evaluator: column references, literals, arithmetic,
+//!   comparisons, boolean logic, `BETWEEN`, `LIKE`-lite, `CASE`, `EXTRACT
+//!   YEAR`-style date helpers.
+//! * [`agg`] — aggregate functions (COUNT/SUM/AVG/MIN/MAX) factored into
+//!   the **two-phase** model the paper requires for elasticity (§4.1): the
+//!   partial phase is stateless-per-page-stream (its state can be destroyed
+//!   and rebuilt, so partial-agg stages can be freely re-parallelized) and
+//!   the final phase merges partial states at fixed parallelism 1.
+
+pub mod agg;
+pub mod scalar;
+
+pub use agg::{AggKind, AggSpec, AggState};
+pub use scalar::{BinaryOp, Expr};

@@ -1,0 +1,283 @@
+//! CSV codec — the Arrow CSV reader substitute.
+//!
+//! Implements the RFC-4180 essentials: comma separation, `"` quoting with
+//! doubled-quote escapes, quoted fields may contain commas and newlines.
+//! The reader streams a file into pages of a configurable row count; the
+//! writer serializes pages. Values are parsed according to the supplied
+//! schema (CSV itself is untyped).
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use accordion_common::{AccordionError, Result};
+use accordion_data::page::{DataPage, PageBuilder};
+use accordion_data::schema::SchemaRef;
+use accordion_data::types::{parse_date32, DataType, Value};
+
+/// Streaming CSV file reader producing [`DataPage`]s.
+pub struct CsvReader {
+    reader: BufReader<File>,
+    schema: SchemaRef,
+    page_rows: usize,
+    line: String,
+    exhausted: bool,
+}
+
+impl CsvReader {
+    pub fn open(path: &Path, schema: SchemaRef, page_rows: usize) -> Result<Self> {
+        let file = File::open(path).map_err(|e| {
+            AccordionError::Storage(format!("cannot open {}: {e}", path.display()))
+        })?;
+        Ok(CsvReader {
+            reader: BufReader::new(file),
+            schema,
+            page_rows,
+            line: String::new(),
+            exhausted: false,
+        })
+    }
+
+    /// Reads the next page, or `None` at end of file.
+    pub fn next_page(&mut self) -> Result<Option<DataPage>> {
+        if self.exhausted {
+            return Ok(None);
+        }
+        let mut builder = PageBuilder::new(self.schema.clone(), self.page_rows);
+        while builder.row_count() < self.page_rows {
+            self.line.clear();
+            let n = self.reader.read_line(&mut self.line)?;
+            if n == 0 {
+                self.exhausted = true;
+                break;
+            }
+            let trimmed = self.line.trim_end_matches(['\n', '\r']);
+            if trimmed.is_empty() {
+                continue;
+            }
+            let fields = parse_csv_line(trimmed)?;
+            if fields.len() != self.schema.len() {
+                return Err(AccordionError::Storage(format!(
+                    "csv arity mismatch: {} fields, schema has {}",
+                    fields.len(),
+                    self.schema.len()
+                )));
+            }
+            let row: Vec<Value> = fields
+                .iter()
+                .zip(self.schema.fields())
+                .map(|(text, field)| parse_value(text, field.data_type))
+                .collect::<Result<_>>()?;
+            builder.push_row(row);
+        }
+        if builder.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(builder.finish()))
+        }
+    }
+}
+
+fn parse_value(text: &str, dt: DataType) -> Result<Value> {
+    if text.is_empty() && dt != DataType::Utf8 {
+        return Ok(Value::Null);
+    }
+    match dt {
+        DataType::Int64 => text
+            .parse::<i64>()
+            .map(Value::Int64)
+            .map_err(|e| AccordionError::Storage(format!("bad int {text:?}: {e}"))),
+        DataType::Float64 => text
+            .parse::<f64>()
+            .map(Value::Float64)
+            .map_err(|e| AccordionError::Storage(format!("bad float {text:?}: {e}"))),
+        DataType::Bool => match text {
+            "true" | "TRUE" | "1" => Ok(Value::Bool(true)),
+            "false" | "FALSE" | "0" => Ok(Value::Bool(false)),
+            _ => Err(AccordionError::Storage(format!("bad bool {text:?}"))),
+        },
+        DataType::Date32 => parse_date32(text)
+            .map(Value::Date32)
+            .ok_or_else(|| AccordionError::Storage(format!("bad date {text:?}"))),
+        DataType::Utf8 => Ok(Value::Utf8(text.to_string())),
+    }
+}
+
+/// Splits one CSV record into unquoted field strings.
+pub fn parse_csv_line(line: &str) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => cur.push(other),
+            }
+        } else {
+            match c {
+                ',' => fields.push(std::mem::take(&mut cur)),
+                '"' => in_quotes = true,
+                other => cur.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(AccordionError::Storage(format!(
+            "unterminated quote in csv line: {line:?}"
+        )));
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+/// Serializes one field with quoting when needed.
+fn write_field(out: &mut impl Write, v: &Value) -> std::io::Result<()> {
+    match v {
+        Value::Null => Ok(()),
+        Value::Utf8(s) => {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                write!(out, "\"{}\"", s.replace('"', "\"\""))
+            } else {
+                write!(out, "{s}")
+            }
+        }
+        other => write!(out, "{other}"),
+    }
+}
+
+/// Writes pages to a CSV file (no header row, matching the reader).
+pub struct CsvWriter {
+    out: BufWriter<File>,
+}
+
+impl CsvWriter {
+    pub fn create(path: &Path) -> Result<Self> {
+        let file = File::create(path).map_err(|e| {
+            AccordionError::Storage(format!("cannot create {}: {e}", path.display()))
+        })?;
+        Ok(CsvWriter {
+            out: BufWriter::new(file),
+        })
+    }
+
+    pub fn write_page(&mut self, page: &DataPage) -> Result<()> {
+        for row in 0..page.row_count() {
+            for col in 0..page.num_columns() {
+                if col > 0 {
+                    self.out.write_all(b",")?;
+                }
+                write_field(&mut self.out, &page.column(col).value(row))?;
+            }
+            self.out.write_all(b"\n")?;
+        }
+        Ok(())
+    }
+
+    pub fn finish(mut self) -> Result<()> {
+        self.out.flush()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accordion_data::column::Column;
+    use accordion_data::schema::{Field, Schema};
+
+    fn schema() -> SchemaRef {
+        Schema::shared(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("name", DataType::Utf8),
+            Field::new("price", DataType::Float64),
+            Field::new("day", DataType::Date32),
+        ])
+    }
+
+    #[test]
+    fn roundtrip_via_file() {
+        let dir = std::env::temp_dir().join("accordion-csv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.csv");
+        let page = DataPage::new(vec![
+            Column::from_i64(vec![1, 2, 3]),
+            Column::from_strings(&["plain", "with,comma", "with\"quote"]),
+            Column::from_f64(vec![1.5, 2.0, -0.25]),
+            Column::from_date32(vec![0, 100, 10000]),
+        ]);
+        let mut w = CsvWriter::create(&path).unwrap();
+        w.write_page(&page).unwrap();
+        w.finish().unwrap();
+
+        let mut r = CsvReader::open(&path, schema(), 2).unwrap();
+        let mut pages = Vec::new();
+        while let Some(p) = r.next_page().unwrap() {
+            pages.push(p);
+        }
+        assert_eq!(pages.len(), 2, "3 rows at page_rows=2 → 2 pages");
+        let all = DataPage::concat(&pages.iter().collect::<Vec<_>>());
+        assert_eq!(all.rows(), page.rows());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn parse_line_quoting() {
+        assert_eq!(
+            parse_csv_line("a,b,c").unwrap(),
+            vec!["a", "b", "c"]
+        );
+        assert_eq!(
+            parse_csv_line("\"a,b\",c").unwrap(),
+            vec!["a,b", "c"]
+        );
+        assert_eq!(
+            parse_csv_line("\"he said \"\"hi\"\"\",x").unwrap(),
+            vec!["he said \"hi\"", "x"]
+        );
+        assert_eq!(parse_csv_line(",,").unwrap(), vec!["", "", ""]);
+        assert!(parse_csv_line("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn empty_non_string_fields_parse_as_null() {
+        assert_eq!(parse_value("", DataType::Int64).unwrap(), Value::Null);
+        assert_eq!(
+            parse_value("", DataType::Utf8).unwrap(),
+            Value::Utf8(String::new())
+        );
+    }
+
+    #[test]
+    fn bad_values_error() {
+        assert!(parse_value("xyz", DataType::Int64).is_err());
+        assert!(parse_value("1.2.3", DataType::Float64).is_err());
+        assert!(parse_value("maybe", DataType::Bool).is_err());
+        assert!(parse_value("2020-13-01", DataType::Date32).is_err());
+    }
+
+    #[test]
+    fn bool_forms() {
+        assert_eq!(parse_value("true", DataType::Bool).unwrap(), Value::Bool(true));
+        assert_eq!(parse_value("0", DataType::Bool).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let dir = std::env::temp_dir().join("accordion-csv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad-arity.csv");
+        std::fs::write(&path, "1,x\n").unwrap();
+        let mut r = CsvReader::open(&path, schema(), 8).unwrap();
+        assert!(r.next_page().is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,232 @@
+//! The split model.
+//!
+//! A [`Split`] is the unit of table-scan work distribution: a contiguous
+//! chunk of one base table, resident on a storage node. The coordinator
+//! hands splits to scan tasks ("system splits", paper Fig 5); a scan task
+//! opens the split and streams its pages.
+//!
+//! Splits know their byte and row sizes up front — the runtime progress
+//! monitor sums outstanding split volume to get `V_remain` for the
+//! remaining-time predictor (paper §5.2).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use accordion_common::{AccordionError, NodeId, Result, SplitId};
+use accordion_data::page::DataPage;
+use accordion_data::schema::SchemaRef;
+
+use crate::csv::CsvReader;
+
+/// Where a split's bytes live.
+#[derive(Debug, Clone)]
+pub enum SplitData {
+    /// Pages resident in memory on the storage node (pre-chunked).
+    Memory(Arc<Vec<DataPage>>),
+    /// A CSV file (or a byte range of one) on disk.
+    Csv { path: PathBuf, schema: SchemaRef },
+}
+
+/// One chunk of a base table.
+#[derive(Debug, Clone)]
+pub struct Split {
+    pub id: SplitId,
+    /// Storage node holding the data (drives NIC accounting for scans).
+    pub node: NodeId,
+    pub table: String,
+    pub data: SplitData,
+    /// Total rows in this split.
+    pub rows: u64,
+    /// Approximate bytes in this split.
+    pub bytes: u64,
+}
+
+impl Split {
+    /// Opens the split as a page iterator producing pages of at most
+    /// `page_rows` rows.
+    pub fn open(&self, page_rows: usize) -> Result<SplitPages> {
+        match &self.data {
+            SplitData::Memory(pages) => Ok(SplitPages::Memory {
+                pages: pages.clone(),
+                next: 0,
+                page_rows,
+                pending: None,
+            }),
+            SplitData::Csv { path, schema } => {
+                let reader = CsvReader::open(path, schema.clone(), page_rows)?;
+                Ok(SplitPages::Csv(reader))
+            }
+        }
+    }
+}
+
+/// Streaming page iterator over one split.
+pub enum SplitPages {
+    Memory {
+        pages: Arc<Vec<DataPage>>,
+        next: usize,
+        page_rows: usize,
+        /// Remainder of a stored page larger than `page_rows`.
+        pending: Option<(DataPage, usize)>,
+    },
+    Csv(CsvReader),
+}
+
+impl SplitPages {
+    /// Next page, or `None` when the split is exhausted.
+    pub fn next_page(&mut self) -> Result<Option<DataPage>> {
+        match self {
+            SplitPages::Memory {
+                pages,
+                next,
+                page_rows,
+                pending,
+            } => {
+                loop {
+                    if let Some((page, offset)) = pending.take() {
+                        let remaining = page.row_count() - offset;
+                        let take = remaining.min(*page_rows);
+                        let out = page.slice(offset, take);
+                        if offset + take < page.row_count() {
+                            *pending = Some((page, offset + take));
+                        }
+                        return Ok(Some(out));
+                    }
+                    if *next >= pages.len() {
+                        return Ok(None);
+                    }
+                    let page = pages[*next].clone();
+                    *next += 1;
+                    if page.row_count() == 0 {
+                        continue;
+                    }
+                    if page.row_count() <= *page_rows {
+                        return Ok(Some(page));
+                    }
+                    *pending = Some((page, 0));
+                }
+            }
+            SplitPages::Csv(reader) => reader.next_page(),
+        }
+    }
+}
+
+/// An ordered collection of splits for one table, with totals.
+#[derive(Debug, Clone, Default)]
+pub struct SplitSet {
+    splits: Vec<Split>,
+}
+
+impl SplitSet {
+    pub fn new(splits: Vec<Split>) -> Self {
+        SplitSet { splits }
+    }
+
+    pub fn splits(&self) -> &[Split] {
+        &self.splits
+    }
+
+    pub fn len(&self) -> usize {
+        self.splits.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.splits.is_empty()
+    }
+
+    pub fn total_rows(&self) -> u64 {
+        self.splits.iter().map(|s| s.rows).sum()
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.splits.iter().map(|s| s.bytes).sum()
+    }
+
+    /// Splits resident on `node`.
+    pub fn on_node(&self, node: NodeId) -> Vec<&Split> {
+        self.splits.iter().filter(|s| s.node == node).collect()
+    }
+
+    pub fn push(&mut self, split: Split) {
+        self.splits.push(split);
+    }
+
+    pub fn get(&self, id: SplitId) -> Result<&Split> {
+        self.splits
+            .iter()
+            .find(|s| s.id == id)
+            .ok_or_else(|| AccordionError::Storage(format!("unknown split {id}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accordion_common::{NodeId, SplitId};
+    use accordion_data::column::Column;
+
+    fn mem_split(id: u64, pages: Vec<DataPage>) -> Split {
+        let rows = pages.iter().map(|p| p.row_count() as u64).sum();
+        let bytes = pages.iter().map(|p| p.byte_size() as u64).sum();
+        Split {
+            id: SplitId(id),
+            node: NodeId(0),
+            table: "t".into(),
+            data: SplitData::Memory(Arc::new(pages)),
+            rows,
+            bytes,
+        }
+    }
+
+    fn page(vals: Vec<i64>) -> DataPage {
+        DataPage::new(vec![Column::from_i64(vals)])
+    }
+
+    #[test]
+    fn memory_split_streams_all_rows() {
+        let s = mem_split(0, vec![page(vec![1, 2, 3]), page(vec![4])]);
+        let mut it = s.open(10).unwrap();
+        let mut rows = 0;
+        while let Some(p) = it.next_page().unwrap() {
+            rows += p.row_count();
+        }
+        assert_eq!(rows, 4);
+    }
+
+    #[test]
+    fn memory_split_rechunks_large_pages() {
+        let s = mem_split(0, vec![page((0..10).collect())]);
+        let mut it = s.open(4).unwrap();
+        let mut sizes = Vec::new();
+        let mut all = Vec::new();
+        while let Some(p) = it.next_page().unwrap() {
+            sizes.push(p.row_count());
+            all.extend_from_slice(p.column(0).as_i64().unwrap());
+        }
+        assert_eq!(sizes, vec![4, 4, 2]);
+        assert_eq!(all, (0..10).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn memory_split_skips_empty_pages() {
+        let s = mem_split(0, vec![page(vec![]), page(vec![7])]);
+        let mut it = s.open(4).unwrap();
+        let p = it.next_page().unwrap().unwrap();
+        assert_eq!(p.row_count(), 1);
+        assert!(it.next_page().unwrap().is_none());
+    }
+
+    #[test]
+    fn split_set_totals_and_lookup() {
+        let mut set = SplitSet::default();
+        set.push(mem_split(1, vec![page(vec![1, 2])]));
+        set.push(mem_split(2, vec![page(vec![3])]));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.total_rows(), 3);
+        assert!(set.total_bytes() > 0);
+        assert!(set.get(SplitId(2)).is_ok());
+        assert!(set.get(SplitId(9)).is_err());
+        assert_eq!(set.on_node(NodeId(0)).len(), 2);
+        assert_eq!(set.on_node(NodeId(1)).len(), 0);
+    }
+}
