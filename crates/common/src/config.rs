@@ -5,10 +5,8 @@
 //! 8 vCPU, 10 Gbps NIC). Here each "node" is a driver thread pool and the
 //! NIC is a token bucket (see `accordion-net`).
 
-use serde::{Deserialize, Serialize};
-
 /// Top-level engine configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EngineConfig {
     pub cluster: ClusterConfig,
     pub network: NetworkConfig,
@@ -86,7 +84,7 @@ impl EngineConfig {
 }
 
 /// Shape of the simulated cluster.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// Number of compute (worker) nodes.
     pub compute_nodes: u32,
@@ -114,7 +112,7 @@ impl ClusterConfig {
 }
 
 /// Parameters of the simulated data-plane network.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NetworkConfig {
     /// Per-node NIC bandwidth in bytes/second (`None` = unlimited).
     /// The paper's nodes have 10 Gbps NICs.

@@ -10,13 +10,11 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use serde::{Deserialize, Serialize};
-
 /// Globally unique query identifier.
 ///
 /// Monotonic within a process; the display form mimics the UI naming in the
 /// paper (`#QUERY-...`) without the timestamp component.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct QueryId(pub u64);
 
 impl QueryId {
@@ -34,7 +32,7 @@ impl fmt::Display for QueryId {
 }
 
 /// Stage number inside a query (0 is the output/root stage, as in Fig 4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StageId(pub u32);
 
 impl fmt::Display for StageId {
@@ -45,7 +43,7 @@ impl fmt::Display for StageId {
 
 /// A task: the smallest unit of distributed execution. `TaskId { stage: 3,
 /// seq: 0 }` prints as `3_0`, matching the paper's Figure 5.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TaskId {
     pub stage: StageId,
     pub seq: u32,
@@ -64,7 +62,7 @@ impl fmt::Display for TaskId {
 }
 
 /// Pipeline index inside a task (assigned by the pipeline splitter, Fig 6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PipelineId(pub u32);
 
 impl fmt::Display for PipelineId {
@@ -75,7 +73,7 @@ impl fmt::Display for PipelineId {
 
 /// A driver instance: `(pipeline, instance)` inside one task. Drivers are the
 /// smallest unit of scheduling and execution (paper §2 "Driver Execution").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DriverId {
     pub pipeline: PipelineId,
     pub instance: u32,
@@ -91,7 +89,7 @@ impl fmt::Display for DriverId {
 /// each upstream task (paper §2 "Task Execution"). The buffer-id array of a
 /// task output buffer grows/shrinks as the downstream stage's DOP changes
 /// (paper §4.2.1, Fig 10).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BufferId(pub u32);
 
 impl fmt::Display for BufferId {
@@ -101,7 +99,7 @@ impl fmt::Display for BufferId {
 }
 
 /// A compute or storage node of the (simulated) cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 impl fmt::Display for NodeId {
@@ -111,7 +109,7 @@ impl fmt::Display for NodeId {
 }
 
 /// Identifier of a data split (a chunk of a base table on some node).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SplitId(pub u64);
 
 impl fmt::Display for SplitId {
@@ -121,7 +119,7 @@ impl fmt::Display for SplitId {
 }
 
 /// Identifier of a node in a logical or physical query plan.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PlanNodeId(pub u32);
 
 impl PlanNodeId {

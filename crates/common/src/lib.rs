@@ -15,12 +15,15 @@
 //! * [`metrics`] — lock-free counters, gauges, windowed rate meters and a
 //!   time-series recorder used by the runtime information collector
 //!   (paper §5.1, Fig 18).
+//! * [`sync`] — poison-ignoring `Mutex`/`RwLock` wrappers over `std::sync`
+//!   used throughout the engine (no external locking dependency).
 
 pub mod clock;
 pub mod config;
 pub mod error;
 pub mod id;
 pub mod metrics;
+pub mod sync;
 
 pub use clock::{Clock, ManualClock, SharedClock, SystemClock};
 pub use config::{ClusterConfig, EngineConfig, NetworkConfig};

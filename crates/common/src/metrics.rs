@@ -9,9 +9,8 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
-
 use crate::clock::SharedClock;
+use crate::sync::Mutex;
 
 /// Monotonically increasing counter.
 #[derive(Debug, Default)]

@@ -196,7 +196,7 @@ impl Column {
 
     #[inline]
     pub fn is_valid(&self, i: usize) -> bool {
-        self.validity().map_or(true, |v| v.is_valid(i))
+        self.validity().is_none_or(|v| v.is_valid(i))
     }
 
     pub fn null_count(&self) -> usize {

@@ -144,7 +144,11 @@ mod tests {
         assert_eq!(total, 1000);
         // Partitioning is reasonably balanced for sequential keys.
         for part in &parts {
-            assert!(part.row_count() > 50, "partition too small: {}", part.row_count());
+            assert!(
+                part.row_count() > 50,
+                "partition too small: {}",
+                part.row_count()
+            );
         }
     }
 

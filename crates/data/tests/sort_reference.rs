@@ -1,0 +1,187 @@
+//! Property-style ordering tests: `sort_page` and `TopNAccumulator` are
+//! cross-checked against a naive row-materializing reference sort on
+//! randomized-but-seeded inputs (nulls included).
+
+use std::cmp::Ordering;
+
+use accordion_data::column::ColumnBuilder;
+use accordion_data::page::DataPage;
+use accordion_data::sort::{compare_rows, sort_page, SortKey, TopNAccumulator};
+use accordion_data::types::{DataType, Value};
+
+/// Deterministic xorshift64* generator (no external rand crate).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Random 3-column page: small-domain Int64 (forces ties), Utf8, Float64 —
+/// each with ~1/6 NULLs.
+fn random_page(rng: &mut Rng, rows: usize) -> DataPage {
+    let mut c0 = ColumnBuilder::new(DataType::Int64, rows);
+    let mut c1 = ColumnBuilder::new(DataType::Utf8, rows);
+    let mut c2 = ColumnBuilder::new(DataType::Float64, rows);
+    for _ in 0..rows {
+        c0.push(if rng.below(6) == 0 {
+            Value::Null
+        } else {
+            Value::Int64(rng.below(5) as i64)
+        });
+        c1.push(if rng.below(6) == 0 {
+            Value::Null
+        } else {
+            Value::Utf8(format!("s{}", rng.below(4)))
+        });
+        c2.push(if rng.below(6) == 0 {
+            Value::Null
+        } else {
+            Value::Float64(rng.below(100) as f64 / 4.0)
+        });
+    }
+    DataPage::new(vec![c0.finish(), c1.finish(), c2.finish()])
+}
+
+fn cmp_value_rows(a: &[Value], b: &[Value], keys: &[SortKey]) -> Ordering {
+    for k in keys {
+        let ord = a[k.column].total_cmp(&b[k.column]);
+        let ord = if k.descending { ord.reverse() } else { ord };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Naive reference: materialize rows, stable-sort with the same comparator.
+fn reference_sort(page: &DataPage, keys: &[SortKey]) -> Vec<Vec<Value>> {
+    let mut rows = page.rows();
+    rows.sort_by(|a, b| cmp_value_rows(a, b, keys));
+    rows
+}
+
+fn key_tuples(rows: &[Vec<Value>], keys: &[SortKey]) -> Vec<Vec<Value>> {
+    rows.iter()
+        .map(|r| keys.iter().map(|k| r[k.column].clone()).collect())
+        .collect()
+}
+
+#[test]
+fn sort_page_matches_reference_across_seeds() {
+    let key_sets: Vec<Vec<SortKey>> = vec![
+        vec![SortKey::asc(0)],
+        vec![SortKey::desc(2)],
+        vec![SortKey::asc(0), SortKey::desc(1)],
+        vec![SortKey::desc(1), SortKey::asc(2), SortKey::asc(0)],
+    ];
+    for seed in 1..=15u64 {
+        let mut rng = Rng::new(seed * 7919);
+        let rows = 1 + rng.below(60) as usize;
+        let page = random_page(&mut rng, rows);
+        for keys in &key_sets {
+            let sorted = sort_page(&page, keys);
+            let expected = reference_sort(&page, keys);
+            // Both sorts are stable with the same comparator ⇒ rows match
+            // exactly, payload columns included.
+            assert_eq!(
+                sorted.rows(),
+                expected,
+                "seed {seed}, keys {keys:?} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn topn_matches_reference_prefix_across_seeds() {
+    let keys = vec![SortKey::asc(0), SortKey::desc(2)];
+    for seed in 1..=15u64 {
+        let mut rng = Rng::new(seed * 104_729);
+        // Feed the accumulator in several pages; the reference sees the
+        // concatenation.
+        let mut pages: Vec<DataPage> = Vec::new();
+        for _ in 0..3 {
+            let rows = 1 + rng.below(25) as usize;
+            pages.push(random_page(&mut rng, rows));
+        }
+        let whole = DataPage::concat(&pages.iter().collect::<Vec<_>>());
+        for n in [0usize, 1, 3, 10, 1000] {
+            let mut acc = TopNAccumulator::new(keys.clone(), n);
+            for p in &pages {
+                acc.push_page(p);
+            }
+            let got = acc.finish_rows();
+            let expected = reference_sort(&whole, &keys);
+            let expected_prefix = &expected[..n.min(expected.len())];
+            // Ties at the cut line make retained payloads ambiguous, so
+            // compare the sort-key tuples, which the heap must get right.
+            assert_eq!(
+                key_tuples(&got, &keys),
+                key_tuples(expected_prefix, &keys),
+                "seed {seed}, n {n} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn compare_rows_agrees_with_value_comparator() {
+    let mut rng = Rng::new(31);
+    let page = random_page(&mut rng, 40);
+    let keys = vec![SortKey::desc(0), SortKey::asc(1)];
+    let rows = page.rows();
+    for a in 0..page.row_count() {
+        for b in 0..page.row_count() {
+            assert_eq!(
+                compare_rows(&page, a, &page, b, &keys),
+                cmp_value_rows(&rows[a], &rows[b], &keys),
+                "rows {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn nulls_sort_first_ascending_last_descending() {
+    let mut b = ColumnBuilder::new(DataType::Int64, 4);
+    b.push(Value::Int64(5));
+    b.push(Value::Null);
+    b.push(Value::Int64(1));
+    b.push(Value::Null);
+    let page = DataPage::new(vec![b.finish()]);
+    let asc = sort_page(&page, &[SortKey::asc(0)]);
+    assert_eq!(
+        asc.rows(),
+        vec![
+            vec![Value::Null],
+            vec![Value::Null],
+            vec![Value::Int64(1)],
+            vec![Value::Int64(5)],
+        ]
+    );
+    let desc = sort_page(&page, &[SortKey::desc(0)]);
+    assert_eq!(
+        desc.rows(),
+        vec![
+            vec![Value::Int64(5)],
+            vec![Value::Int64(1)],
+            vec![Value::Null],
+            vec![Value::Null],
+        ]
+    );
+}

@@ -1,0 +1,284 @@
+//! Driver execution (paper §2 "Driver Execution").
+//!
+//! A driver instantiates one pipeline's [`OperatorSpec`] list into a chain
+//! of [`PageStream`]s and pulls pages through it until an end page arrives,
+//! delivering each page to the pipeline's sink: the task output buffer, a
+//! local exchange partition, or a hash-join build table.
+//!
+//! The single-node executor runs one driver per pipeline, in the producer-
+//! first order [`accordion_plan::pipeline::split_pipelines`] guarantees, so
+//! every local exchange and join table is fully materialized before its
+//! consumer starts.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use accordion_common::{AccordionError, Result};
+use accordion_data::page::{DataPage, EndReason, Page};
+use accordion_plan::pipeline::{OperatorSpec, PipelineSpec};
+use accordion_storage::catalog::Catalog;
+
+use crate::operators::{
+    BoxedStream, FilterOp, FinalHashAggOp, HashJoinProbeOp, JoinTable, LimitOp, PartialHashAggOp,
+    ProjectOp, QueueSource, ScanSource, SortOp, TopNOp,
+};
+
+/// Per-child-stage task outputs: `stage id → partition → pages`.
+pub type StageOutputs = HashMap<u32, Vec<Vec<Arc<DataPage>>>>;
+
+/// Mutable state of one running task.
+pub struct TaskContext<'a> {
+    pub catalog: &'a Catalog,
+    /// This task's sequence number within its stage.
+    pub task_index: u32,
+    /// Stage parallelism (used to pick this task's splits / partitions).
+    pub parallelism: u32,
+    pub page_rows: usize,
+    /// Outputs of already-executed child stages.
+    pub child_outputs: &'a StageOutputs,
+    /// Local exchange buffers, indexed by the splitter's exchange ids.
+    pub local_exchanges: Vec<Vec<Arc<DataPage>>>,
+    /// Hash-join build tables, indexed by the splitter's join ids.
+    pub join_tables: Vec<Option<Arc<JoinTable>>>,
+    /// Pages this task delivers to its output buffer.
+    pub output: Vec<Arc<DataPage>>,
+}
+
+impl<'a> TaskContext<'a> {
+    pub fn new(
+        catalog: &'a Catalog,
+        task_index: u32,
+        parallelism: u32,
+        page_rows: usize,
+        child_outputs: &'a StageOutputs,
+        pipelines: &[PipelineSpec],
+    ) -> Self {
+        let mut exchanges = 0usize;
+        let mut joins = 0usize;
+        for p in pipelines {
+            for op in &p.operators {
+                match op {
+                    OperatorSpec::LocalSink { exchange, .. }
+                    | OperatorSpec::LocalSource { exchange } => {
+                        exchanges = exchanges.max(exchange + 1)
+                    }
+                    OperatorSpec::HashJoinBuild { join, .. }
+                    | OperatorSpec::HashJoinProbe { join, .. } => joins = joins.max(join + 1),
+                    _ => {}
+                }
+            }
+        }
+        TaskContext {
+            catalog,
+            task_index,
+            parallelism: parallelism.max(1),
+            page_rows,
+            child_outputs,
+            local_exchanges: vec![Vec::new(); exchanges],
+            join_tables: vec![None; joins],
+            output: Vec::new(),
+        }
+    }
+}
+
+/// Runs one pipeline to completion inside `ctx`.
+pub fn run_pipeline(pipeline: &PipelineSpec, ctx: &mut TaskContext<'_>) -> Result<()> {
+    let (sink, upstream) = pipeline
+        .operators
+        .split_last()
+        .ok_or_else(|| AccordionError::Execution("empty pipeline".into()))?;
+    if !sink.is_sink() {
+        return Err(AccordionError::Execution(format!(
+            "pipeline {} does not end in a sink: {}",
+            pipeline.id,
+            sink.name()
+        )));
+    }
+    let mut chain = build_chain(upstream, ctx)?;
+    match sink {
+        OperatorSpec::Output => loop {
+            match chain.next_page()? {
+                Page::End(_) => break,
+                Page::Data(p) => ctx.output.push(p),
+            }
+        },
+        OperatorSpec::LocalSink {
+            exchange,
+            partitioning,
+        } => {
+            if partitioning.partition_count() != 1 {
+                return Err(AccordionError::Execution(format!(
+                    "multi-partition local exchange ({partitioning}) needs multi-driver tasks, \
+                     which this executor does not run yet"
+                )));
+            }
+            loop {
+                match chain.next_page()? {
+                    Page::End(_) => break,
+                    Page::Data(p) => ctx.local_exchanges[*exchange].push(p),
+                }
+            }
+        }
+        OperatorSpec::HashJoinBuild { join, keys } => {
+            let mut pages = Vec::new();
+            loop {
+                match chain.next_page()? {
+                    Page::End(_) => break,
+                    Page::Data(p) => pages.push(p),
+                }
+            }
+            ctx.join_tables[*join] = Some(Arc::new(JoinTable::build(pages, keys)));
+        }
+        other => {
+            return Err(AccordionError::Internal(format!(
+                "unhandled sink {}",
+                other.name()
+            )))
+        }
+    }
+    Ok(())
+}
+
+/// Instantiates `specs` (a source followed by streaming operators) into a
+/// pull chain.
+fn build_chain(specs: &[OperatorSpec], ctx: &mut TaskContext<'_>) -> Result<BoxedStream> {
+    let (source, rest) = specs
+        .split_first()
+        .ok_or_else(|| AccordionError::Execution("pipeline has a sink but no source".into()))?;
+    let mut chain = build_source(source, ctx)?;
+    for spec in rest {
+        chain = wrap_operator(spec, chain, ctx)?;
+    }
+    Ok(chain)
+}
+
+fn build_source(spec: &OperatorSpec, ctx: &mut TaskContext<'_>) -> Result<BoxedStream> {
+    match spec {
+        OperatorSpec::TableScan { table, projection } => {
+            let meta = ctx.catalog.get(table)?;
+            // Splits are dealt round-robin across the stage's tasks — the
+            // assignment a later PR's scheduler makes dynamic.
+            let splits = meta
+                .splits
+                .splits()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i as u32 % ctx.parallelism == ctx.task_index)
+                .map(|(_, s)| s.clone())
+                .collect();
+            Ok(Box::new(ScanSource::new(
+                splits,
+                projection.clone(),
+                ctx.page_rows,
+            )))
+        }
+        OperatorSpec::ExchangeSource { child_stage } => {
+            let partitions = ctx.child_outputs.get(&child_stage.0).ok_or_else(|| {
+                AccordionError::Execution(format!("stage {child_stage} has not produced output"))
+            })?;
+            // A single-partition child broadcasts to every consumer task; a
+            // multi-partition child must match the consumer parallelism
+            // one-to-one or rows would be silently dropped or duplicated.
+            if partitions.len() > 1 && partitions.len() != ctx.parallelism as usize {
+                return Err(AccordionError::Execution(format!(
+                    "stage {child_stage} produced {} partitions for a consumer of {} tasks",
+                    partitions.len(),
+                    ctx.parallelism
+                )));
+            }
+            let part = ctx.task_index as usize % partitions.len().max(1);
+            let pages = partitions.get(part).cloned().unwrap_or_default();
+            Ok(Box::new(QueueSource::new(
+                pages,
+                EndReason::UpstreamFinished,
+            )))
+        }
+        OperatorSpec::LocalSource { exchange } => {
+            let pages =
+                std::mem::take(ctx.local_exchanges.get_mut(*exchange).ok_or_else(|| {
+                    AccordionError::Execution(format!("unknown local exchange {exchange}"))
+                })?);
+            Ok(Box::new(QueueSource::new(
+                pages,
+                EndReason::LocalExchangeDrained,
+            )))
+        }
+        other => Err(AccordionError::Execution(format!(
+            "pipeline must start with a source, found {}",
+            other.name()
+        ))),
+    }
+}
+
+fn wrap_operator(
+    spec: &OperatorSpec,
+    input: BoxedStream,
+    ctx: &mut TaskContext<'_>,
+) -> Result<BoxedStream> {
+    Ok(match spec {
+        OperatorSpec::Filter { predicate } => Box::new(FilterOp::new(input, predicate.clone())),
+        OperatorSpec::Project { exprs } => Box::new(ProjectOp::new(
+            input,
+            exprs.iter().map(|(e, _)| e.clone()).collect(),
+        )),
+        OperatorSpec::PartialAggregate {
+            group_by,
+            aggs,
+            output_schema,
+        } => Box::new(PartialHashAggOp::new(
+            input,
+            group_by.clone(),
+            aggs.clone(),
+            output_schema.clone(),
+            ctx.page_rows,
+        )),
+        OperatorSpec::FinalAggregate {
+            group_count,
+            aggs,
+            output_schema,
+        } => Box::new(FinalHashAggOp::new(
+            input,
+            *group_count,
+            aggs.clone(),
+            output_schema.clone(),
+            ctx.page_rows,
+        )),
+        OperatorSpec::TopN { keys, n, schema } => Box::new(TopNOp::new(
+            input,
+            keys.clone(),
+            *n,
+            schema.clone(),
+            ctx.page_rows,
+        )),
+        OperatorSpec::Sort { keys } => Box::new(SortOp::new(input, keys.clone(), ctx.page_rows)),
+        OperatorSpec::Limit { n } => Box::new(LimitOp::new(input, *n)),
+        OperatorSpec::HashJoinProbe {
+            join,
+            keys,
+            output_schema,
+        } => {
+            let table = ctx
+                .join_tables
+                .get(*join)
+                .and_then(|t| t.clone())
+                .ok_or_else(|| {
+                    AccordionError::Execution(format!(
+                        "hash join {join} probed before its build pipeline ran"
+                    ))
+                })?;
+            Box::new(HashJoinProbeOp::new(
+                input,
+                table,
+                keys.clone(),
+                output_schema.clone(),
+                ctx.page_rows,
+            ))
+        }
+        other => {
+            return Err(AccordionError::Execution(format!(
+                "operator {} cannot appear mid-pipeline",
+                other.name()
+            )))
+        }
+    })
+}

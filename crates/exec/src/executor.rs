@@ -1,0 +1,186 @@
+//! Stage-tree execution.
+//!
+//! Executes a fragmented plan bottom-up: every stage runs after all of its
+//! children, each stage runs `parallelism` tasks, and each task runs its
+//! pipelines producer-first. Task outputs are partitioned per the stage's
+//! output partitioning and buffered in memory — the single-node stand-in
+//! for the paper's task output buffers + exchange operators (later PRs move
+//! this behind the simulated network in `accordion-net`).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use accordion_common::{AccordionError, Result};
+use accordion_data::hash::hash_partition;
+use accordion_data::page::{DataPage, PageBuilder};
+use accordion_data::schema::{Schema, SchemaRef};
+use accordion_data::types::Value;
+use accordion_plan::fragment::{PlanFragment, StageTree};
+use accordion_plan::logical::LogicalPlan;
+use accordion_plan::optimizer::Optimizer;
+use accordion_plan::physical::Partitioning;
+use accordion_plan::pipeline::split_pipelines;
+use accordion_storage::catalog::Catalog;
+
+use crate::driver::{run_pipeline, StageOutputs, TaskContext};
+
+/// Executor tuning.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Target rows per page produced by scans and blocking operators.
+    pub page_rows: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { page_rows: 1024 }
+    }
+}
+
+impl ExecOptions {
+    pub fn with_page_rows(page_rows: usize) -> Self {
+        assert!(page_rows > 0, "page_rows must be positive");
+        ExecOptions { page_rows }
+    }
+}
+
+/// The materialized result of a query: the output schema plus the pages the
+/// root stage delivered, in delivery order.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    pub schema: Schema,
+    /// `Arc`-shared result pages, exactly as the root stage delivered them.
+    pub pages: Vec<Arc<DataPage>>,
+}
+
+impl QueryResult {
+    pub fn row_count(&self) -> usize {
+        self.pages.iter().map(|p| p.row_count()).sum()
+    }
+
+    /// All result rows as owned scalars — the assertion path for tests.
+    pub fn rows(&self) -> Vec<Vec<Value>> {
+        self.pages.iter().flat_map(|p| p.rows()).collect()
+    }
+
+    /// The whole result as one page (an empty page of the right arity when
+    /// the query produced no rows).
+    pub fn concat(&self) -> DataPage {
+        if self.pages.is_empty() {
+            let schema: SchemaRef = Arc::new(self.schema.clone());
+            let mut b = PageBuilder::new(schema, 1);
+            return b.finish();
+        }
+        DataPage::concat(&self.pages.iter().map(|p| p.as_ref()).collect::<Vec<_>>())
+    }
+}
+
+/// Executes a fragmented stage tree against the catalog.
+pub fn execute_tree(
+    catalog: &Catalog,
+    tree: &StageTree,
+    opts: &ExecOptions,
+) -> Result<QueryResult> {
+    let mut outputs: StageOutputs = HashMap::new();
+    for stage_id in tree.execution_order() {
+        let fragment = tree.fragment(stage_id)?;
+        let partitions = execute_stage(catalog, fragment, &outputs, opts)?;
+        outputs.insert(stage_id.0, partitions);
+    }
+    let mut root_partitions = outputs
+        .remove(&0)
+        .ok_or_else(|| AccordionError::Internal("root stage produced no output".into()))?;
+    if root_partitions.len() > 1 && root_partitions.iter().skip(1).any(|p| !p.is_empty()) {
+        return Err(AccordionError::Internal(
+            "root stage produced more than one output partition".into(),
+        ));
+    }
+    let pages = if root_partitions.is_empty() {
+        Vec::new()
+    } else {
+        root_partitions
+            .swap_remove(0)
+            .into_iter()
+            .filter(|p| !p.is_empty())
+            .collect()
+    };
+    Ok(QueryResult {
+        schema: tree.root().schema(),
+        pages,
+    })
+}
+
+/// Runs every task of one stage; returns its partitioned output.
+fn execute_stage(
+    catalog: &Catalog,
+    fragment: &PlanFragment,
+    child_outputs: &StageOutputs,
+    opts: &ExecOptions,
+) -> Result<Vec<Vec<Arc<DataPage>>>> {
+    let pipelines = split_pipelines(fragment)?;
+    let n_parts = fragment.output_partitioning.partition_count() as usize;
+    let mut partitions: Vec<Vec<Arc<DataPage>>> = vec![Vec::new(); n_parts.max(1)];
+    let mut rr_next = 0usize;
+    for task in 0..fragment.parallelism {
+        let mut ctx = TaskContext::new(
+            catalog,
+            task,
+            fragment.parallelism,
+            opts.page_rows,
+            child_outputs,
+            &pipelines,
+        );
+        for pipeline in &pipelines {
+            run_pipeline(pipeline, &mut ctx)?;
+        }
+        route_task_output(
+            ctx.output,
+            &fragment.output_partitioning,
+            &mut partitions,
+            &mut rr_next,
+        );
+    }
+    Ok(partitions)
+}
+
+fn route_task_output(
+    pages: Vec<Arc<DataPage>>,
+    partitioning: &Partitioning,
+    partitions: &mut [Vec<Arc<DataPage>>],
+    rr_next: &mut usize,
+) {
+    match partitioning {
+        Partitioning::Single => partitions[0].extend(pages),
+        Partitioning::Hash {
+            keys,
+            partitions: n,
+        } => {
+            for page in pages {
+                for (part, piece) in hash_partition(&page, keys, *n).into_iter().enumerate() {
+                    if !piece.is_empty() {
+                        partitions[part].push(Arc::new(piece));
+                    }
+                }
+            }
+        }
+        Partitioning::RoundRobin { .. } => {
+            for page in pages {
+                partitions[*rr_next % partitions.len()].push(page);
+                *rr_next += 1;
+            }
+        }
+    }
+}
+
+/// Convenience entry point covering the whole paper §2 pipeline:
+/// `LogicalPlan → Optimizer → StageTree → pipelines → drivers → result`.
+pub fn execute_logical(
+    catalog: &Catalog,
+    plan: &LogicalPlan,
+    optimizer: &Optimizer,
+    opts: &ExecOptions,
+) -> Result<QueryResult> {
+    let physical = optimizer.optimize(plan)?;
+    let tree = StageTree::build(physical)?;
+    execute_tree(catalog, &tree, opts)
+}

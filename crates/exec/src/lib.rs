@@ -1,1 +1,29 @@
-//! placeholder — implemented later in the build
+//! Vectorized single-node executor for the Accordion IQRE engine.
+//!
+//! Takes the descriptive output of `accordion-plan` — a [`StageTree`] of
+//! fragments, each split into pipelines of operator specs — and runs it:
+//!
+//! * [`operators`] — the physical operators as pull-based [`Page`] streams
+//!   (scan over splits, filter, project, partial/final hash aggregation,
+//!   sort, top-N, limit, hash join).
+//! * [`driver`] — instantiates one pipeline into an operator chain and
+//!   pulls it to completion into the pipeline's sink (paper §2 "Driver
+//!   Execution").
+//! * [`executor`] — runs stages bottom-up at their planned parallelism,
+//!   buffering exchanged pages in memory.
+//!
+//! Everything here is deliberately synchronous and deterministic: the task/
+//! driver thread pools, elastic buffers and the shuffle network arrive in
+//! later PRs (`accordion-cluster`, `accordion-net`) on top of these
+//! operators.
+//!
+//! [`StageTree`]: accordion_plan::fragment::StageTree
+//! [`Page`]: accordion_data::page::Page
+
+pub mod driver;
+pub mod executor;
+pub mod operators;
+
+pub use driver::{run_pipeline, StageOutputs, TaskContext};
+pub use executor::{execute_logical, execute_tree, ExecOptions, QueryResult};
+pub use operators::{JoinTable, PageStream};

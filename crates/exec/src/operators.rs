@@ -1,0 +1,795 @@
+//! Vectorized physical operators.
+//!
+//! Every operator is a [`PageStream`]: a pull-based iterator of [`Page`]s
+//! that terminates with an end page (paper §4.3 — the same marker later PRs
+//! reuse to shut drivers down mid-query). Streaming operators (filter,
+//! project, limit, join probe) transform one page at a time; blocking
+//! operators (aggregates, sort, top-N) drain their child on the first pull
+//! and then emit their buffered result.
+//!
+//! Aggregation follows the paper's two-phase model exactly: the partial
+//! operator serializes [`AggState`]s into ordinary page columns, the final
+//! operator merges them (possibly from many upstream tasks) and emits the
+//! finished values. Group iteration uses a `BTreeMap` keyed by the injective
+//! row-key encoding, so output order is deterministic for a given input set
+//! regardless of page arrival order.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+
+use accordion_common::{AccordionError, Result};
+use accordion_data::page::{DataPage, EndReason, Page, PageBuilder};
+use accordion_data::rowkey::encode_key;
+use accordion_data::schema::{Schema, SchemaRef};
+use accordion_data::sort::{sort_page, SortKey, TopNAccumulator};
+use accordion_data::types::Value;
+use accordion_expr::agg::{AggSpec, AggState};
+use accordion_expr::scalar::Expr;
+use accordion_storage::split::{Split, SplitPages};
+
+/// Pull-based page iterator; yields `Page::End` exactly once, after which
+/// callers must stop pulling.
+pub trait PageStream {
+    fn next_page(&mut self) -> Result<Page>;
+}
+
+/// Boxed stream alias used to chain operators.
+pub type BoxedStream = Box<dyn PageStream>;
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Streams the pages of a task's assigned splits, applying the scan's
+/// column projection.
+pub struct ScanSource {
+    splits: Vec<Split>,
+    projection: Vec<usize>,
+    page_rows: usize,
+    next_split: usize,
+    current: Option<SplitPages>,
+}
+
+impl ScanSource {
+    pub fn new(splits: Vec<Split>, projection: Vec<usize>, page_rows: usize) -> Self {
+        ScanSource {
+            splits,
+            projection,
+            page_rows,
+            next_split: 0,
+            current: None,
+        }
+    }
+}
+
+impl PageStream for ScanSource {
+    fn next_page(&mut self) -> Result<Page> {
+        loop {
+            if self.current.is_none() {
+                if self.next_split >= self.splits.len() {
+                    return Ok(Page::end(EndReason::ScanExhausted));
+                }
+                self.current = Some(self.splits[self.next_split].open(self.page_rows)?);
+                self.next_split += 1;
+            }
+            match self.current.as_mut().unwrap().next_page()? {
+                Some(page) => {
+                    if page.is_empty() {
+                        continue;
+                    }
+                    return Ok(Page::data(page.project(&self.projection)));
+                }
+                None => self.current = None,
+            }
+        }
+    }
+}
+
+/// Replays a pre-materialized list of pages (remote-exchange and
+/// local-exchange consumers in the single-node executor). Pages are
+/// `Arc`-shared, so replaying the same buffer to many consumers (broadcast)
+/// never deep-copies.
+pub struct QueueSource {
+    pages: VecDeque<Arc<DataPage>>,
+    end_reason: EndReason,
+}
+
+impl QueueSource {
+    pub fn new(pages: Vec<Arc<DataPage>>, end_reason: EndReason) -> Self {
+        QueueSource {
+            pages: pages.into(),
+            end_reason,
+        }
+    }
+}
+
+impl PageStream for QueueSource {
+    fn next_page(&mut self) -> Result<Page> {
+        loop {
+            match self.pages.pop_front() {
+                Some(p) if p.is_empty() => continue,
+                Some(p) => return Ok(Page::Data(p)),
+                None => return Ok(Page::end(self.end_reason)),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming operators
+// ---------------------------------------------------------------------------
+
+/// Row filter: evaluates the predicate per page and gathers selected rows.
+pub struct FilterOp {
+    input: BoxedStream,
+    predicate: Expr,
+}
+
+impl FilterOp {
+    pub fn new(input: BoxedStream, predicate: Expr) -> Self {
+        FilterOp { input, predicate }
+    }
+}
+
+impl PageStream for FilterOp {
+    fn next_page(&mut self) -> Result<Page> {
+        loop {
+            match self.input.next_page()? {
+                Page::End(e) => return Ok(Page::End(e)),
+                Page::Data(page) => {
+                    let indices = self.predicate.filter_indices(&page)?;
+                    if indices.is_empty() {
+                        continue;
+                    }
+                    if indices.len() == page.row_count() {
+                        return Ok(Page::Data(page));
+                    }
+                    return Ok(Page::data(page.gather(&indices)));
+                }
+            }
+        }
+    }
+}
+
+/// Column computation: evaluates each projected expression vectorized.
+pub struct ProjectOp {
+    input: BoxedStream,
+    exprs: Vec<Expr>,
+}
+
+impl ProjectOp {
+    pub fn new(input: BoxedStream, exprs: Vec<Expr>) -> Self {
+        ProjectOp { input, exprs }
+    }
+}
+
+impl PageStream for ProjectOp {
+    fn next_page(&mut self) -> Result<Page> {
+        match self.input.next_page()? {
+            Page::End(e) => Ok(Page::End(e)),
+            Page::Data(page) => {
+                if self.exprs.is_empty() {
+                    return Ok(Page::data(DataPage::row_count_only(page.row_count())));
+                }
+                let cols = self
+                    .exprs
+                    .iter()
+                    .map(|e| e.evaluate(&page))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Page::data(DataPage::new(cols)))
+            }
+        }
+    }
+}
+
+/// Plain LIMIT: truncates the stream after `n` rows and stops pulling its
+/// child (the end-signal path of the paper's shutdown protocol).
+pub struct LimitOp {
+    input: BoxedStream,
+    remaining: usize,
+}
+
+impl LimitOp {
+    pub fn new(input: BoxedStream, n: usize) -> Self {
+        LimitOp {
+            input,
+            remaining: n,
+        }
+    }
+}
+
+impl PageStream for LimitOp {
+    fn next_page(&mut self) -> Result<Page> {
+        if self.remaining == 0 {
+            return Ok(Page::end(EndReason::EndSignal));
+        }
+        match self.input.next_page()? {
+            Page::End(e) => Ok(Page::End(e)),
+            Page::Data(page) => {
+                if page.row_count() <= self.remaining {
+                    self.remaining -= page.row_count();
+                    Ok(Page::Data(page))
+                } else {
+                    let cut = page.slice(0, self.remaining);
+                    self.remaining = 0;
+                    Ok(Page::data(cut))
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+struct Group {
+    values: Vec<Value>,
+    states: Vec<AggState>,
+}
+
+fn chunk_rows_into_pages(
+    rows: impl Iterator<Item = Vec<Value>>,
+    schema: SchemaRef,
+    page_rows: usize,
+) -> Vec<DataPage> {
+    let mut out = Vec::new();
+    let mut builder = PageBuilder::new(schema, page_rows.max(1));
+    for row in rows {
+        builder.push_row(row);
+        if builder.is_full() {
+            out.push(builder.finish());
+        }
+    }
+    if !builder.is_empty() {
+        out.push(builder.finish());
+    }
+    out
+}
+
+/// Partial (scan-side) phase of two-phase aggregation. Emits one row per
+/// group: group values followed by each aggregate's serialized state.
+pub struct PartialHashAggOp {
+    input: BoxedStream,
+    group_by: Vec<usize>,
+    aggs: Vec<AggSpec>,
+    output_schema: SchemaRef,
+    page_rows: usize,
+    out: Option<VecDeque<DataPage>>,
+}
+
+impl PartialHashAggOp {
+    pub fn new(
+        input: BoxedStream,
+        group_by: Vec<usize>,
+        aggs: Vec<AggSpec>,
+        output_schema: Schema,
+        page_rows: usize,
+    ) -> Self {
+        PartialHashAggOp {
+            input,
+            group_by,
+            aggs,
+            output_schema: Arc::new(output_schema),
+            page_rows,
+            out: None,
+        }
+    }
+
+    fn consume_input(&mut self) -> Result<VecDeque<DataPage>> {
+        let mut groups: BTreeMap<Vec<u8>, Group> = BTreeMap::new();
+        loop {
+            let page = match self.input.next_page()? {
+                Page::End(_) => break,
+                Page::Data(p) => p,
+            };
+            // Evaluate each aggregate's argument once per page.
+            let arg_cols = self
+                .aggs
+                .iter()
+                .map(|a| a.input.as_ref().map(|e| e.evaluate(&page)).transpose())
+                .collect::<Result<Vec<_>>>()?;
+            for row in 0..page.row_count() {
+                let key = encode_key(&page, &self.group_by, row);
+                let group = groups.entry(key).or_insert_with(|| Group {
+                    values: self
+                        .group_by
+                        .iter()
+                        .map(|&gi| page.column(gi).value(row))
+                        .collect(),
+                    states: self.aggs.iter().map(|a| a.new_state()).collect(),
+                });
+                for (state, col) in group.states.iter_mut().zip(&arg_cols) {
+                    match col {
+                        Some(c) => state.update(&c.value(row)),
+                        // COUNT(*): every row counts.
+                        None => state.update(&Value::Int64(1)),
+                    }
+                }
+            }
+        }
+        // A global aggregate over zero rows still produces one row of
+        // initial state (COUNT(*) of an empty table is 0, not no-rows).
+        if self.group_by.is_empty() && groups.is_empty() {
+            groups.insert(
+                Vec::new(),
+                Group {
+                    values: Vec::new(),
+                    states: self.aggs.iter().map(|a| a.new_state()).collect(),
+                },
+            );
+        }
+        let rows = groups.into_values().map(|g| {
+            let mut row = g.values;
+            for s in &g.states {
+                row.extend(s.partial_values());
+            }
+            row
+        });
+        Ok(chunk_rows_into_pages(rows, self.output_schema.clone(), self.page_rows).into())
+    }
+}
+
+impl PageStream for PartialHashAggOp {
+    fn next_page(&mut self) -> Result<Page> {
+        if self.out.is_none() {
+            let pages = self.consume_input()?;
+            self.out = Some(pages);
+        }
+        match self.out.as_mut().unwrap().pop_front() {
+            Some(p) => Ok(Page::data(p)),
+            None => Ok(Page::end(EndReason::UpstreamFinished)),
+        }
+    }
+}
+
+/// Final (merge) phase: consumes the partial layout — group columns first,
+/// then each aggregate's serialized state columns — and emits final values.
+pub struct FinalHashAggOp {
+    input: BoxedStream,
+    group_count: usize,
+    aggs: Vec<AggSpec>,
+    output_schema: SchemaRef,
+    page_rows: usize,
+    out: Option<VecDeque<DataPage>>,
+}
+
+impl FinalHashAggOp {
+    pub fn new(
+        input: BoxedStream,
+        group_count: usize,
+        aggs: Vec<AggSpec>,
+        output_schema: Schema,
+        page_rows: usize,
+    ) -> Self {
+        FinalHashAggOp {
+            input,
+            group_count,
+            aggs,
+            output_schema: Arc::new(output_schema),
+            page_rows,
+            out: None,
+        }
+    }
+
+    fn consume_input(&mut self) -> Result<VecDeque<DataPage>> {
+        let group_cols: Vec<usize> = (0..self.group_count).collect();
+        // Column ranges of each aggregate's partial state in the input.
+        let mut ranges = Vec::with_capacity(self.aggs.len());
+        let mut at = self.group_count;
+        for a in &self.aggs {
+            let arity = a.partial_state_types().len();
+            ranges.push(at..at + arity);
+            at += arity;
+        }
+        let mut groups: BTreeMap<Vec<u8>, Group> = BTreeMap::new();
+        loop {
+            let page = match self.input.next_page()? {
+                Page::End(_) => break,
+                Page::Data(p) => p,
+            };
+            if page.num_columns() < at {
+                return Err(AccordionError::Execution(format!(
+                    "final aggregate expected ≥{at} partial columns, got {}",
+                    page.num_columns()
+                )));
+            }
+            for row in 0..page.row_count() {
+                let key = encode_key(&page, &group_cols, row);
+                let group = groups.entry(key).or_insert_with(|| Group {
+                    values: group_cols
+                        .iter()
+                        .map(|&gi| page.column(gi).value(row))
+                        .collect(),
+                    states: self.aggs.iter().map(|a| a.new_state()).collect(),
+                });
+                for (state, range) in group.states.iter_mut().zip(&ranges) {
+                    let partial: Vec<Value> =
+                        range.clone().map(|ci| page.column(ci).value(row)).collect();
+                    state.merge_partial(&partial)?;
+                }
+            }
+        }
+        if self.group_count == 0 && groups.is_empty() {
+            groups.insert(
+                Vec::new(),
+                Group {
+                    values: Vec::new(),
+                    states: self.aggs.iter().map(|a| a.new_state()).collect(),
+                },
+            );
+        }
+        let rows = groups.into_values().map(|g| {
+            let mut row = g.values;
+            row.extend(g.states.iter().map(|s| s.finish()));
+            row
+        });
+        Ok(chunk_rows_into_pages(rows, self.output_schema.clone(), self.page_rows).into())
+    }
+}
+
+impl PageStream for FinalHashAggOp {
+    fn next_page(&mut self) -> Result<Page> {
+        if self.out.is_none() {
+            let pages = self.consume_input()?;
+            self.out = Some(pages);
+        }
+        match self.out.as_mut().unwrap().pop_front() {
+            Some(p) => Ok(Page::data(p)),
+            None => Ok(Page::end(EndReason::UpstreamFinished)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ordering
+// ---------------------------------------------------------------------------
+
+/// Bounded ORDER BY + LIMIT via the shared [`TopNAccumulator`].
+pub struct TopNOp {
+    input: BoxedStream,
+    keys: Vec<SortKey>,
+    n: usize,
+    schema: SchemaRef,
+    page_rows: usize,
+    out: Option<VecDeque<DataPage>>,
+}
+
+impl TopNOp {
+    pub fn new(
+        input: BoxedStream,
+        keys: Vec<SortKey>,
+        n: usize,
+        schema: Schema,
+        page_rows: usize,
+    ) -> Self {
+        TopNOp {
+            input,
+            keys,
+            n,
+            schema: Arc::new(schema),
+            page_rows,
+            out: None,
+        }
+    }
+}
+
+impl PageStream for TopNOp {
+    fn next_page(&mut self) -> Result<Page> {
+        if self.out.is_none() {
+            let mut acc = TopNAccumulator::new(self.keys.clone(), self.n);
+            loop {
+                match self.input.next_page()? {
+                    Page::End(_) => break,
+                    Page::Data(p) => acc.push_page(&p),
+                }
+            }
+            let pages = chunk_rows_into_pages(
+                acc.finish_rows().into_iter(),
+                self.schema.clone(),
+                self.page_rows,
+            );
+            self.out = Some(pages.into());
+        }
+        match self.out.as_mut().unwrap().pop_front() {
+            Some(p) => Ok(Page::data(p)),
+            None => Ok(Page::end(EndReason::UpstreamFinished)),
+        }
+    }
+}
+
+/// Full sort: buffers all input, sorts once, emits re-chunked pages.
+pub struct SortOp {
+    input: BoxedStream,
+    keys: Vec<SortKey>,
+    page_rows: usize,
+    out: Option<VecDeque<DataPage>>,
+}
+
+impl SortOp {
+    pub fn new(input: BoxedStream, keys: Vec<SortKey>, page_rows: usize) -> Self {
+        SortOp {
+            input,
+            keys,
+            page_rows,
+            out: None,
+        }
+    }
+}
+
+impl PageStream for SortOp {
+    fn next_page(&mut self) -> Result<Page> {
+        if self.out.is_none() {
+            let mut pages: Vec<DataPage> = Vec::new();
+            loop {
+                match self.input.next_page()? {
+                    Page::End(_) => break,
+                    Page::Data(p) => pages.push(p.as_ref().clone()),
+                }
+            }
+            let mut out = VecDeque::new();
+            if !pages.is_empty() {
+                let whole = DataPage::concat(&pages.iter().collect::<Vec<_>>());
+                let sorted = sort_page(&whole, &self.keys);
+                let mut offset = 0;
+                while offset < sorted.row_count() {
+                    let take = self.page_rows.max(1).min(sorted.row_count() - offset);
+                    out.push_back(sorted.slice(offset, take));
+                    offset += take;
+                }
+            }
+            self.out = Some(out);
+        }
+        match self.out.as_mut().unwrap().pop_front() {
+            Some(p) => Ok(Page::data(p)),
+            None => Ok(Page::end(EndReason::UpstreamFinished)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hash join
+// ---------------------------------------------------------------------------
+
+/// The materialized build side of a hash join, shared by all probe drivers.
+/// Rows whose keys contain SQL NULL are excluded (NULL never equi-joins).
+/// With no key columns every row lands in one bucket — that is exactly
+/// cross-join semantics, so `Cross` needs no special casing.
+pub struct JoinTable {
+    pages: Vec<Arc<DataPage>>,
+    index: HashMap<Vec<u8>, Vec<(u32, u32)>>,
+}
+
+impl JoinTable {
+    pub fn build(pages: Vec<Arc<DataPage>>, keys: &[usize]) -> JoinTable {
+        let mut index: HashMap<Vec<u8>, Vec<(u32, u32)>> = HashMap::new();
+        for (pi, page) in pages.iter().enumerate() {
+            'rows: for row in 0..page.row_count() {
+                for &k in keys {
+                    if !page.column(k).is_valid(row) {
+                        continue 'rows;
+                    }
+                }
+                index
+                    .entry(encode_key(page, keys, row))
+                    .or_default()
+                    .push((pi as u32, row as u32));
+            }
+        }
+        JoinTable { pages, index }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    fn matches(&self, key: &[u8]) -> &[(u32, u32)] {
+        self.index.get(key).map_or(&[], |v| v.as_slice())
+    }
+
+    fn row(&self, loc: (u32, u32)) -> Vec<Value> {
+        self.pages[loc.0 as usize].row(loc.1 as usize)
+    }
+}
+
+/// Streams probe pages against a [`JoinTable`], emitting probe ++ build rows.
+pub struct HashJoinProbeOp {
+    input: BoxedStream,
+    table: Arc<JoinTable>,
+    keys: Vec<usize>,
+    output_schema: SchemaRef,
+    page_rows: usize,
+}
+
+impl HashJoinProbeOp {
+    pub fn new(
+        input: BoxedStream,
+        table: Arc<JoinTable>,
+        keys: Vec<usize>,
+        output_schema: Schema,
+        page_rows: usize,
+    ) -> Self {
+        HashJoinProbeOp {
+            input,
+            table,
+            keys,
+            output_schema: Arc::new(output_schema),
+            page_rows,
+        }
+    }
+}
+
+impl PageStream for HashJoinProbeOp {
+    fn next_page(&mut self) -> Result<Page> {
+        loop {
+            let page = match self.input.next_page()? {
+                Page::End(e) => return Ok(Page::End(e)),
+                Page::Data(p) => p,
+            };
+            if self.table.is_empty() {
+                continue;
+            }
+            let mut builder = PageBuilder::new(self.output_schema.clone(), self.page_rows.max(1));
+            'rows: for row in 0..page.row_count() {
+                for &k in &self.keys {
+                    if !page.column(k).is_valid(row) {
+                        continue 'rows;
+                    }
+                }
+                let key = encode_key(&page, &self.keys, row);
+                for &loc in self.table.matches(&key) {
+                    let mut out_row = page.row(row);
+                    out_row.extend(self.table.row(loc));
+                    builder.push_row(out_row);
+                }
+            }
+            if !builder.is_empty() {
+                return Ok(Page::data(builder.finish()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accordion_data::column::Column;
+    use accordion_data::schema::Field;
+    use accordion_data::types::DataType;
+    use accordion_expr::agg::AggKind;
+
+    fn pages_source(pages: Vec<DataPage>) -> BoxedStream {
+        Box::new(QueueSource::new(
+            pages.into_iter().map(Arc::new).collect(),
+            EndReason::UpstreamFinished,
+        ))
+    }
+
+    fn drain(mut s: impl PageStream) -> Vec<DataPage> {
+        let mut out = Vec::new();
+        loop {
+            match s.next_page().unwrap() {
+                Page::End(_) => return out,
+                Page::Data(p) => out.push(p.as_ref().clone()),
+            }
+        }
+    }
+
+    #[test]
+    fn filter_and_project_stream() {
+        let page = DataPage::new(vec![Column::from_i64(vec![1, 2, 3, 4])]);
+        let filtered = FilterOp::new(
+            pages_source(vec![page]),
+            Expr::gt(Expr::col(0), Expr::lit_i64(2)),
+        );
+        let doubled = ProjectOp::new(
+            Box::new(filtered),
+            vec![Expr::mul(Expr::col(0), Expr::lit_i64(2))],
+        );
+        let out = drain(doubled);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].column(0).as_i64().unwrap(), &[6, 8]);
+    }
+
+    #[test]
+    fn limit_cuts_across_pages() {
+        let p1 = DataPage::new(vec![Column::from_i64(vec![1, 2])]);
+        let p2 = DataPage::new(vec![Column::from_i64(vec![3, 4])]);
+        let out = drain(LimitOp::new(pages_source(vec![p1, p2]), 3));
+        let total: usize = out.iter().map(|p| p.row_count()).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn partial_then_final_agg_round_trip() {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("v", DataType::Int64),
+        ]);
+        let aggs = vec![AggSpec::new(
+            AggKind::Avg,
+            Expr::col(1),
+            DataType::Int64,
+            "a",
+        )];
+        let partial_schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("a#p0", DataType::Float64),
+            Field::new("a#p1", DataType::Int64),
+        ]);
+        let final_schema = Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("a", DataType::Float64),
+        ]);
+        let _ = schema;
+        let page = DataPage::new(vec![
+            Column::from_i64(vec![1, 2, 1, 2]),
+            Column::from_i64(vec![10, 20, 30, 40]),
+        ]);
+        let partial = PartialHashAggOp::new(
+            pages_source(vec![page]),
+            vec![0],
+            aggs.clone(),
+            partial_schema,
+            8,
+        );
+        let fin = FinalHashAggOp::new(Box::new(partial), 1, aggs, final_schema, 8);
+        let out = drain(fin);
+        assert_eq!(out.len(), 1);
+        let rows = out[0].rows();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Int64(1), Value::Float64(20.0)],
+                vec![Value::Int64(2), Value::Float64(30.0)],
+            ]
+        );
+    }
+
+    #[test]
+    fn global_agg_over_empty_input_yields_one_row() {
+        let aggs = vec![AggSpec::count_star("c")];
+        let partial_schema = Schema::new(vec![Field::new("c#p0", DataType::Int64)]);
+        let final_schema = Schema::new(vec![Field::new("c", DataType::Int64)]);
+        let partial = PartialHashAggOp::new(
+            pages_source(vec![]),
+            vec![],
+            aggs.clone(),
+            partial_schema,
+            8,
+        );
+        let fin = FinalHashAggOp::new(Box::new(partial), 0, aggs, final_schema, 8);
+        let out = drain(fin);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rows(), vec![vec![Value::Int64(0)]]);
+    }
+
+    #[test]
+    fn join_table_skips_null_keys_and_cross_joins_on_no_keys() {
+        use accordion_data::column::ColumnBuilder;
+        let mut b = ColumnBuilder::new(DataType::Int64, 3);
+        b.push(Value::Int64(1));
+        b.push(Value::Null);
+        b.push(Value::Int64(2));
+        let build_page = DataPage::new(vec![b.finish()]);
+        let build_page = Arc::new(build_page);
+        let t = JoinTable::build(vec![build_page.clone()], &[0]);
+        assert_eq!(t.index.len(), 2, "null key row excluded");
+        let cross = JoinTable::build(vec![build_page], &[]);
+        assert_eq!(cross.matches(&[]).len(), 3, "no keys ⇒ one bucket");
+    }
+
+    #[test]
+    fn sort_op_rechunks_sorted_output() {
+        let p1 = DataPage::new(vec![Column::from_i64(vec![3, 1])]);
+        let p2 = DataPage::new(vec![Column::from_i64(vec![2])]);
+        let out = drain(SortOp::new(
+            pages_source(vec![p1, p2]),
+            vec![SortKey::asc(0)],
+            2,
+        ));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].column(0).as_i64().unwrap(), &[1, 2]);
+        assert_eq!(out[1].column(0).as_i64().unwrap(), &[3]);
+    }
+}

@@ -1,0 +1,473 @@
+//! Golden end-to-end query tests: `LogicalPlanBuilder → Optimizer →
+//! StageTree → split_pipelines → exec` against hand-computed expectations.
+//!
+//! The fixture table mirrors a tiny sales fact table with NULLs in `qty`,
+//! registered twice: `sales` spread over 4 splits on 2 nodes (exercising
+//! multi-task scans) and `sales1` as a single split (for order-sensitive
+//! golden results without a final sort).
+
+use accordion_data::schema::{Field, Schema};
+use accordion_data::types::{DataType, Value};
+use accordion_exec::{execute_logical, execute_tree, ExecOptions, QueryResult};
+use accordion_expr::agg::AggKind;
+use accordion_expr::scalar::Expr;
+use accordion_plan::fragment::{StageKind, StageTree};
+use accordion_plan::optimizer::{Optimizer, OptimizerConfig};
+use accordion_plan::pipeline::split_pipelines;
+use accordion_plan::LogicalPlanBuilder;
+use accordion_storage::catalog::Catalog;
+use accordion_storage::table::{PartitioningScheme, TableBuilder};
+
+fn i(v: i64) -> Value {
+    Value::Int64(v)
+}
+fn f(v: f64) -> Value {
+    Value::Float64(v)
+}
+fn s(v: &str) -> Value {
+    Value::Utf8(v.to_string())
+}
+
+/// 8 rows; qty is NULL for rows 2 and 6.
+/// (region, product, qty, price)
+fn sales_rows() -> Vec<Vec<Value>> {
+    vec![
+        vec![s("east"), s("apple"), i(10), f(1.0)],
+        vec![s("east"), s("banana"), i(5), f(2.0)],
+        vec![s("east"), s("apple"), Value::Null, f(3.0)],
+        vec![s("west"), s("banana"), i(20), f(1.5)],
+        vec![s("west"), s("apple"), i(7), f(2.5)],
+        vec![s("west"), s("cherry"), i(1), f(4.0)],
+        vec![s("north"), s("cherry"), Value::Null, f(0.5)],
+        vec![s("north"), s("apple"), i(2), f(1.0)],
+    ]
+}
+
+fn sales_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("region", DataType::Utf8),
+        Field::new("product", DataType::Utf8),
+        Field::new("qty", DataType::Int64),
+        Field::new("price", DataType::Float64),
+    ])
+}
+
+fn catalog() -> Catalog {
+    let c = Catalog::new();
+    // Multi-split copy: 2 nodes × 2 splits, 3-row pages.
+    let mut b = TableBuilder::new("sales", std::sync::Arc::new(sales_schema()), 3);
+    for row in sales_rows() {
+        b.push_row(row);
+    }
+    b.register(&c, PartitioningScheme::new(2, 2), 0);
+    // Single-split copy preserving row order.
+    let mut b = TableBuilder::new("sales1", std::sync::Arc::new(sales_schema()), 1024);
+    for row in sales_rows() {
+        b.push_row(row);
+    }
+    b.register(&c, PartitioningScheme::new(1, 1), 0);
+    // Empty and all-null tables for the edge-case shapes.
+    let empty_schema = Schema::shared(vec![
+        Field::new("k", DataType::Int64),
+        Field::new("v", DataType::Float64),
+    ]);
+    TableBuilder::new("empty", empty_schema.clone(), 8).register(
+        &c,
+        PartitioningScheme::new(2, 1),
+        0,
+    );
+    let mut b = TableBuilder::new("nulls", empty_schema, 2);
+    for _ in 0..5 {
+        b.push_row(vec![Value::Int64(1), Value::Null]);
+    }
+    b.register(&c, PartitioningScheme::new(2, 1), 0);
+    c
+}
+
+fn run(catalog: &Catalog, builder: LogicalPlanBuilder, dop: u32) -> QueryResult {
+    let optimizer = Optimizer::new(OptimizerConfig::default().with_parallelism(dop));
+    execute_logical(
+        catalog,
+        &builder.build(),
+        &optimizer,
+        &ExecOptions::with_page_rows(3),
+    )
+    .unwrap()
+}
+
+fn sorted_rows(result: &QueryResult) -> Vec<Vec<Value>> {
+    let mut rows = result.rows();
+    rows.sort_by(|a, b| {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| *o != std::cmp::Ordering::Equal)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    rows
+}
+
+// -- golden shape 1: plain scan -------------------------------------------
+
+#[test]
+fn golden_scan() {
+    let c = catalog();
+    let result = run(&c, LogicalPlanBuilder::scan(&c, "sales1").unwrap(), 1);
+    assert_eq!(result.schema.len(), 4);
+    assert_eq!(result.rows(), sales_rows(), "serial scan preserves order");
+    // The same rows come back from the 4-split copy at dop 3.
+    let parallel = run(&c, LogicalPlanBuilder::scan(&c, "sales").unwrap(), 3);
+    assert_eq!(sorted_rows(&parallel).len(), 8);
+    let mut expected = sales_rows();
+    expected.sort_by(|a, b| {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| *o != std::cmp::Ordering::Equal)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    assert_eq!(sorted_rows(&parallel), expected);
+}
+
+// -- golden shape 2: scan + filter ----------------------------------------
+
+#[test]
+fn golden_filter() {
+    let c = catalog();
+    let b = LogicalPlanBuilder::scan(&c, "sales1").unwrap();
+    let pred = Expr::gt(b.col("qty").unwrap(), Expr::lit_i64(4));
+    let result = run(&c, b.filter(pred).unwrap(), 1);
+    // NULL qty rows are dropped by SQL comparison semantics.
+    assert_eq!(
+        result.rows(),
+        vec![
+            vec![s("east"), s("apple"), i(10), f(1.0)],
+            vec![s("east"), s("banana"), i(5), f(2.0)],
+            vec![s("west"), s("banana"), i(20), f(1.5)],
+            vec![s("west"), s("apple"), i(7), f(2.5)],
+        ]
+    );
+}
+
+// -- golden shape 3: projection arithmetic --------------------------------
+
+#[test]
+fn golden_projection_arithmetic() {
+    let c = catalog();
+    let b = LogicalPlanBuilder::scan(&c, "sales1").unwrap();
+    let revenue = Expr::mul(b.col("qty").unwrap(), b.col("price").unwrap());
+    let result = run(
+        &c,
+        b.clone()
+            .project(vec![
+                (b.col("product").unwrap(), "product"),
+                (revenue, "revenue"),
+            ])
+            .unwrap(),
+        1,
+    );
+    assert_eq!(result.schema.field(1).name, "revenue");
+    assert_eq!(result.schema.field(1).data_type, DataType::Float64);
+    assert_eq!(
+        result.rows(),
+        vec![
+            vec![s("apple"), f(10.0)],
+            vec![s("banana"), f(10.0)],
+            vec![s("apple"), Value::Null], // NULL qty propagates
+            vec![s("banana"), f(30.0)],
+            vec![s("apple"), f(17.5)],
+            vec![s("cherry"), f(4.0)],
+            vec![s("cherry"), Value::Null],
+            vec![s("apple"), f(2.0)],
+        ]
+    );
+}
+
+// -- golden shape 4: COUNT/SUM/AVG/MIN/MAX group-by (partial → final) -----
+
+#[test]
+fn golden_group_by_all_agg_kinds() {
+    let c = catalog();
+    let b = LogicalPlanBuilder::scan(&c, "sales").unwrap();
+    let aggs = vec![
+        b.agg(AggKind::Count, "qty", "cnt").unwrap(),
+        b.agg(AggKind::Sum, "qty", "total").unwrap(),
+        b.agg(AggKind::Avg, "qty", "mean").unwrap(),
+        b.agg(AggKind::Min, "qty", "lo").unwrap(),
+        b.agg(AggKind::Max, "qty", "hi").unwrap(),
+    ];
+    let plan = b
+        .aggregate(&["region"], aggs)
+        .unwrap()
+        .top_n(&[("region", false)], 10)
+        .unwrap();
+    let result = run(&c, plan, 4);
+    // COUNT skips NULLs; AVG divides by the non-null count; MIN/MAX ignore
+    // NULLs. east: qty {10,5,NULL}; north: {NULL,2}; west: {20,7,1}.
+    assert_eq!(
+        result.rows(),
+        vec![
+            vec![s("east"), i(2), i(15), f(7.5), i(5), i(10)],
+            vec![s("north"), i(1), i(2), f(2.0), i(2), i(2)],
+            vec![s("west"), i(3), i(28), f(28.0 / 3.0), i(1), i(20)],
+        ]
+    );
+}
+
+// -- golden shape 5: ungrouped (global) aggregate -------------------------
+
+#[test]
+fn golden_global_aggregate() {
+    let c = catalog();
+    let b = LogicalPlanBuilder::scan(&c, "sales").unwrap();
+    let aggs = vec![
+        accordion_expr::agg::AggSpec::count_star("rows"),
+        b.agg(AggKind::Sum, "qty", "total").unwrap(),
+    ];
+    let plan = b.aggregate(&[], aggs).unwrap();
+    let result = run(&c, plan, 4);
+    assert_eq!(result.row_count(), 1);
+    assert_eq!(result.rows(), vec![vec![i(8), i(45)]]);
+}
+
+// -- golden shape 6: ORDER BY multi-key with NULLs ------------------------
+
+#[test]
+fn golden_order_by_multi_key_with_nulls() {
+    let c = catalog();
+    let b = LogicalPlanBuilder::scan(&c, "sales").unwrap();
+    // ORDER BY qty ASC (NULLs first), price DESC — over all 8 rows.
+    let plan = b
+        .select(&["qty", "price", "product"])
+        .unwrap()
+        .top_n(&[("qty", false), ("price", true)], 100)
+        .unwrap();
+    let result = run(&c, plan, 3);
+    assert_eq!(
+        result.rows(),
+        vec![
+            vec![Value::Null, f(3.0), s("apple")], // null qty, higher price first
+            vec![Value::Null, f(0.5), s("cherry")],
+            vec![i(1), f(4.0), s("cherry")],
+            vec![i(2), f(1.0), s("apple")],
+            vec![i(5), f(2.0), s("banana")],
+            vec![i(7), f(2.5), s("apple")],
+            vec![i(10), f(1.0), s("apple")],
+            vec![i(20), f(1.5), s("banana")],
+        ]
+    );
+}
+
+// -- golden shape 7: LIMIT and TopN ---------------------------------------
+
+#[test]
+fn golden_limit_and_topn() {
+    let c = catalog();
+    let b = LogicalPlanBuilder::scan(&c, "sales1").unwrap();
+    let limited = run(&c, b.limit(3).unwrap(), 1);
+    assert_eq!(limited.rows(), sales_rows()[..3].to_vec());
+
+    let b = LogicalPlanBuilder::scan(&c, "sales").unwrap();
+    let top = run(&c, b.top_n(&[("qty", true)], 2).unwrap(), 4);
+    assert_eq!(
+        top.rows(),
+        vec![
+            vec![s("west"), s("banana"), i(20), f(1.5)],
+            vec![s("east"), s("apple"), i(10), f(1.0)],
+        ]
+    );
+
+    // LIMIT larger than the table returns everything.
+    let b = LogicalPlanBuilder::scan(&c, "sales").unwrap();
+    let all = run(&c, b.limit(99).unwrap(), 4);
+    assert_eq!(all.row_count(), 8);
+}
+
+// -- golden shape 8: empty input ------------------------------------------
+
+#[test]
+fn golden_empty_input() {
+    let c = catalog();
+    // Scan of an empty table: zero rows, right schema.
+    let scan = run(&c, LogicalPlanBuilder::scan(&c, "empty").unwrap(), 2);
+    assert_eq!(scan.row_count(), 0);
+    assert_eq!(scan.schema.len(), 2);
+    assert_eq!(scan.concat().row_count(), 0);
+
+    // Grouped aggregate over empty input: zero groups.
+    let b = LogicalPlanBuilder::scan(&c, "empty").unwrap();
+    let sum = b.agg(AggKind::Sum, "v", "s").unwrap();
+    let grouped = run(&c, b.aggregate(&["k"], vec![sum]).unwrap(), 2);
+    assert_eq!(grouped.row_count(), 0);
+
+    // Global aggregate over empty input: one row, COUNT 0 / SUM NULL.
+    let b = LogicalPlanBuilder::scan(&c, "empty").unwrap();
+    let aggs = vec![
+        b.agg(AggKind::Count, "k", "c").unwrap(),
+        b.agg(AggKind::Sum, "v", "s").unwrap(),
+    ];
+    let global = run(&c, b.aggregate(&[], aggs).unwrap(), 2);
+    assert_eq!(global.rows(), vec![vec![i(0), Value::Null]]);
+}
+
+// -- golden shape 9: all-NULL column --------------------------------------
+
+#[test]
+fn golden_all_null_column() {
+    let c = catalog();
+    let b = LogicalPlanBuilder::scan(&c, "nulls").unwrap();
+    let aggs = vec![
+        b.agg(AggKind::Count, "v", "c").unwrap(),
+        b.agg(AggKind::Sum, "v", "s").unwrap(),
+        b.agg(AggKind::Avg, "v", "a").unwrap(),
+        b.agg(AggKind::Min, "v", "lo").unwrap(),
+        b.agg(AggKind::Max, "v", "hi").unwrap(),
+    ];
+    let result = run(&c, b.aggregate(&["k"], aggs).unwrap(), 2);
+    assert_eq!(
+        result.rows(),
+        vec![vec![
+            i(1),
+            i(0),
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null
+        ]]
+    );
+}
+
+// -- golden shape 10: inner equi-join -------------------------------------
+
+#[test]
+fn golden_join() {
+    let c = catalog();
+    let prices_schema = Schema::shared(vec![
+        Field::new("name", DataType::Utf8),
+        Field::new("tariff", DataType::Int64),
+    ]);
+    let mut b = TableBuilder::new("tariffs", prices_schema, 4);
+    for (name, t) in [("apple", 1i64), ("banana", 2), ("durian", 9)] {
+        b.push_row(vec![s(name), i(t)]);
+    }
+    b.register(&c, PartitioningScheme::new(1, 1), 0);
+
+    let sales = LogicalPlanBuilder::scan(&c, "sales1").unwrap();
+    let tariffs = LogicalPlanBuilder::scan(&c, "tariffs").unwrap();
+    let joined = sales
+        .join(tariffs, &[("product", "name")])
+        .unwrap()
+        .select(&["product", "qty", "tariff"])
+        .unwrap();
+    let result = run(&c, joined, 2);
+    // cherry rows have no tariff; durian never sold.
+    assert_eq!(
+        sorted_rows(&result),
+        vec![
+            vec![s("apple"), Value::Null, i(1)],
+            vec![s("apple"), i(2), i(1)],
+            vec![s("apple"), i(7), i(1)],
+            vec![s("apple"), i(10), i(1)],
+            vec![s("banana"), i(5), i(2)],
+            vec![s("banana"), i(20), i(2)],
+        ]
+    );
+}
+
+// -- acceptance: full stack, stage by stage -------------------------------
+
+/// Drives every layer explicitly (no convenience wrapper) for a
+/// scan → filter → two-phase group-by → sort query, asserting both the
+/// intermediate structures and the exact row-level result.
+#[test]
+fn acceptance_full_stack_scan_filter_groupby_sort() {
+    let c = catalog();
+    let b = LogicalPlanBuilder::scan(&c, "sales").unwrap();
+    let pred = Expr::gt(b.col("price").unwrap(), Expr::lit_f64(0.75));
+    let b = b.filter(pred).unwrap();
+    let aggs = vec![
+        b.agg(AggKind::Sum, "qty", "total").unwrap(),
+        b.agg(AggKind::Count, "qty", "cnt").unwrap(),
+    ];
+    let logical = b
+        .aggregate(&["region"], aggs)
+        .unwrap()
+        .top_n(&[("total", true)], 10)
+        .unwrap()
+        .build();
+
+    // Optimize at DOP 3 and fragment.
+    let optimizer = Optimizer::new(OptimizerConfig::default().with_parallelism(3));
+    let physical = optimizer.optimize(&logical).unwrap();
+    let tree = StageTree::build(physical).unwrap();
+    assert_eq!(tree.len(), 2, "gather exchange cuts one stage boundary");
+    let source = tree.fragment(accordion_common::StageId(1)).unwrap();
+    assert_eq!(source.kind, StageKind::Source);
+    assert_eq!(source.parallelism, 3, "partial side keeps the scan DOP");
+    let output = tree.root();
+    assert_eq!(output.parallelism, 1, "final side runs at parallelism 1");
+
+    // The output stage splits at the local exchange into the two pipelines
+    // of paper Fig 6.
+    let pipelines = split_pipelines(output).unwrap();
+    assert_eq!(pipelines.len(), 2);
+    assert_eq!(
+        pipelines[0].operator_names(),
+        vec!["ExchangeSource", "LocalSink"]
+    );
+    assert_eq!(
+        pipelines[1].operator_names(),
+        vec!["LocalSource", "FinalAggregate", "TopN", "Output"]
+    );
+    // The source stage is one streaming pipeline ending in the partial agg.
+    let scan_pipes = split_pipelines(source).unwrap();
+    assert_eq!(
+        scan_pipes[0].operator_names(),
+        vec!["TableScan", "Filter", "PartialAggregate", "Output"]
+    );
+
+    // Execute and check exact rows. price > 0.75 drops only the north
+    // cherry row (price 0.5, NULL qty): east {10,5,NULL} → 15/2,
+    // west {20,7,1} → 28/3, north {2} → 2/1. Sorted by total DESC.
+    let result = execute_tree(&c, &tree, &ExecOptions::with_page_rows(2)).unwrap();
+    assert_eq!(
+        result.rows(),
+        vec![
+            vec![s("west"), i(28), i(3)],
+            vec![s("east"), i(15), i(2)],
+            vec![s("north"), i(2), i(1)],
+        ]
+    );
+}
+
+// -- parallelism invariance -----------------------------------------------
+
+/// The elasticity-critical invariant at the whole-query level: any scan DOP
+/// produces the same result set.
+#[test]
+fn results_invariant_under_parallelism() {
+    let c = catalog();
+    let mut reference: Option<Vec<Vec<Value>>> = None;
+    for dop in [1, 2, 3, 5, 8] {
+        let b = LogicalPlanBuilder::scan(&c, "sales").unwrap();
+        let aggs = vec![
+            b.agg(AggKind::Sum, "qty", "total").unwrap(),
+            b.agg(AggKind::Avg, "price", "avg_price").unwrap(),
+        ];
+        let plan = b
+            .aggregate(&["region", "product"], aggs)
+            .unwrap()
+            .top_n(&[("region", false), ("product", false)], 100)
+            .unwrap();
+        let rows = run(&c, plan, dop).rows();
+        match &reference {
+            None => reference = Some(rows),
+            Some(r) => assert_eq!(&rows, r, "dop {dop} diverged"),
+        }
+    }
+    assert_eq!(
+        reference.unwrap().len(),
+        7,
+        "7 distinct (region, product) pairs"
+    );
+}

@@ -118,7 +118,10 @@ pub enum AggState {
     /// (sum, saw_any) — SQL SUM over zero rows is NULL.
     SumInt(i64, bool),
     SumFloat(f64, bool),
-    Avg { sum: f64, count: i64 },
+    Avg {
+        sum: f64,
+        count: i64,
+    },
     Min(Option<Value>),
     Max(Option<Value>),
 }
@@ -179,7 +182,11 @@ impl AggState {
             AggState::Count(c) => vec![Value::Int64(*c)],
             AggState::SumInt(s, any) => vec![if *any { Value::Int64(*s) } else { Value::Null }],
             AggState::SumFloat(s, any) => {
-                vec![if *any { Value::Float64(*s) } else { Value::Null }]
+                vec![if *any {
+                    Value::Float64(*s)
+                } else {
+                    Value::Null
+                }]
             }
             AggState::Avg { sum, count } => vec![Value::Float64(*sum), Value::Int64(*count)],
             AggState::Min(v) | AggState::Max(v) => {
@@ -300,16 +307,8 @@ mod tests {
 
     #[test]
     fn count_ignores_nulls() {
-        let spec = AggSpec::new(
-            AggKind::Count,
-            Expr::col(0),
-            DataType::Int64,
-            "c",
-        );
-        let s = feed(
-            &spec,
-            &[Value::Int64(1), Value::Null, Value::Int64(3)],
-        );
+        let spec = AggSpec::new(AggKind::Count, Expr::col(0), DataType::Int64, "c");
+        let s = feed(&spec, &[Value::Int64(1), Value::Null, Value::Int64(3)]);
         assert_eq!(s.finish(), Value::Int64(2));
     }
 
@@ -345,10 +344,7 @@ mod tests {
     #[test]
     fn min_max_over_strings_and_dates() {
         let spec = AggSpec::new(AggKind::Min, Expr::col(0), DataType::Utf8, "m");
-        let s = feed(
-            &spec,
-            &[Value::Utf8("b".into()), Value::Utf8("a".into())],
-        );
+        let s = feed(&spec, &[Value::Utf8("b".into()), Value::Utf8("a".into())]);
         assert_eq!(s.finish(), Value::Utf8("a".into()));
         let spec = AggSpec::new(AggKind::Max, Expr::col(0), DataType::Date32, "m");
         let s = feed(&spec, &[Value::Date32(5), Value::Date32(9)]);

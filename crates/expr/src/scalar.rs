@@ -162,14 +162,19 @@ impl Expr {
         Expr::binary(l, BinaryOp::And, r)
     }
 
+    // Static constructors, not `std::ops` impls — expressions are built,
+    // not evaluated, by these.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(l: Expr, r: Expr) -> Expr {
         Expr::binary(l, BinaryOp::Add, r)
     }
 
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(l: Expr, r: Expr) -> Expr {
         Expr::binary(l, BinaryOp::Sub, r)
     }
 
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(l: Expr, r: Expr) -> Expr {
         Expr::binary(l, BinaryOp::Mul, r)
     }
@@ -373,7 +378,7 @@ impl Expr {
                     if v.is_null() {
                         b.push(Value::Null);
                     } else {
-                        b.push(Value::Bool(list.iter().any(|x| *x == v)));
+                        b.push(Value::Bool(list.contains(&v)));
                     }
                 }
                 Ok(b.finish())
@@ -552,7 +557,9 @@ fn eval_binary(l: &Column, op: BinaryOp, r: &Column) -> Result<Column> {
                 Gt => Column::from_bool(a.iter().zip(b).map(|(x, y)| x > y).collect()),
                 GtEq => Column::from_bool(a.iter().zip(b).map(|(x, y)| x >= y).collect()),
                 And | Or => {
-                    return Err(AccordionError::Execution("AND/OR over float columns".into()))
+                    return Err(AccordionError::Execution(
+                        "AND/OR over float columns".into(),
+                    ))
                 }
             });
         }
@@ -680,9 +687,7 @@ pub fn like_match(pattern: &str, s: &str) -> bool {
     fn rec(p: &[char], s: &[char]) -> bool {
         match p.split_first() {
             None => s.is_empty(),
-            Some(('%', rest)) => {
-                (0..=s.len()).any(|k| rec(rest, &s[k..]))
-            }
+            Some(('%', rest)) => (0..=s.len()).any(|k| rec(rest, &s[k..])),
             Some(('_', rest)) => !s.is_empty() && rec(rest, &s[1..]),
             Some((c, rest)) => s.first() == Some(c) && rec(rest, &s[1..]),
         }
@@ -789,10 +794,7 @@ mod tests {
     fn case_expression() {
         let p = num_page();
         let e = Expr::Case {
-            branches: vec![(
-                Expr::gt(Expr::col(0), Expr::lit_i64(2)),
-                Expr::lit_i64(1),
-            )],
+            branches: vec![(Expr::gt(Expr::col(0), Expr::lit_i64(2)), Expr::lit_i64(1))],
             otherwise: Some(Arc::new(Expr::lit_i64(0))),
         };
         let c = e.evaluate(&p).unwrap();
@@ -803,10 +805,7 @@ mod tests {
     fn case_without_else_yields_null() {
         let p = num_page();
         let e = Expr::Case {
-            branches: vec![(
-                Expr::gt(Expr::col(0), Expr::lit_i64(3)),
-                Expr::lit_i64(1),
-            )],
+            branches: vec![(Expr::gt(Expr::col(0), Expr::lit_i64(3)), Expr::lit_i64(1))],
             otherwise: None,
         };
         let c = e.evaluate(&p).unwrap();
@@ -833,7 +832,9 @@ mod tests {
         b.push(Value::Int64(3));
         let p = DataPage::new(vec![b.finish()]);
         // Arithmetic null propagation.
-        let c = Expr::add(Expr::col(0), Expr::lit_i64(1)).evaluate(&p).unwrap();
+        let c = Expr::add(Expr::col(0), Expr::lit_i64(1))
+            .evaluate(&p)
+            .unwrap();
         assert_eq!(c.value(1), Value::Null);
         assert_eq!(c.value(0), Value::Int64(2));
         // Comparison null propagation: filter drops null rows.

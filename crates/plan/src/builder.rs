@@ -77,10 +77,7 @@ impl LogicalPlanBuilder {
     pub fn project(self, exprs: Vec<(Expr, &str)>) -> Result<Self> {
         let plan = Arc::new(LogicalPlan::Project {
             input: self.plan,
-            exprs: exprs
-                .into_iter()
-                .map(|(e, n)| (e, n.to_string()))
-                .collect(),
+            exprs: exprs.into_iter().map(|(e, n)| (e, n.to_string())).collect(),
         });
         plan.validate()?;
         Ok(LogicalPlanBuilder { plan })

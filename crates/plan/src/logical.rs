@@ -63,10 +63,7 @@ pub enum LogicalPlan {
         n: usize,
     },
     /// Plain LIMIT.
-    Limit {
-        input: Arc<LogicalPlan>,
-        n: usize,
-    },
+    Limit { input: Arc<LogicalPlan>, n: usize },
 }
 
 impl LogicalPlan {
@@ -275,7 +272,12 @@ impl LogicalPlan {
                 ));
                 input.fmt_indent(out, indent + 1);
             }
-            LogicalPlan::Join { left, right, on, join_type } => {
+            LogicalPlan::Join {
+                left,
+                right,
+                on,
+                join_type,
+            } => {
                 out.push_str(&format!("{pad}Join[{join_type:?}]: on={on:?}\n"));
                 left.fmt_indent(out, indent + 1);
                 right.fmt_indent(out, indent + 1);

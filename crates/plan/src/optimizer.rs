@@ -1,0 +1,600 @@
+//! Logical rewrites and physical lowering.
+//!
+//! The optimizer performs the rewrites Accordion inherits from Presto (§2):
+//!
+//! * **Predicate pushdown** — filters move below projections (by inlining
+//!   the projected expressions into the predicate) and below aggregations
+//!   (when they only reference group keys), so they run in the scan-side
+//!   stage where parallelism is elastic.
+//! * **Two-stage aggregation** — every `Aggregate` becomes a
+//!   [`PhysicalNode::PartialAggregate`] at the scan stage's parallelism, a
+//!   gather [`PhysicalNode::Exchange`], a [`PhysicalNode::LocalExchange`]
+//!   and a [`PhysicalNode::FinalAggregate`] at parallelism 1 (paper §4.1:
+//!   partial-aggregate state is reconstructible, so the scan-side stage can
+//!   grow/shrink mid-query while the final stage stays fixed).
+//! * **TopN / Limit splitting** — each distributed task keeps its local
+//!   top-N (or first-N) rows, and a single final task merges them.
+//! * **Physical lowering** with explicit exchanges: the plan that leaves
+//!   this module contains every data movement as a node, ready for stage
+//!   fragmentation ([`crate::fragment`]) and pipeline splitting
+//!   ([`crate::pipeline`]).
+
+use std::sync::Arc;
+
+use accordion_common::Result;
+use accordion_expr::scalar::Expr;
+
+use crate::logical::LogicalPlan;
+use crate::physical::{Partitioning, PhysicalNode};
+
+/// Tuning knobs for the optimizer. Rule toggles exist so structural planner
+/// tests can isolate a single rewrite.
+#[derive(Debug, Clone)]
+pub struct OptimizerConfig {
+    /// Parallelism (task count) of source stages — the stages a later PR
+    /// makes elastic at runtime.
+    pub scan_parallelism: u32,
+    /// Enables filter pushdown through projections and aggregations.
+    pub predicate_pushdown: bool,
+    /// Splits aggregations into partial/final phases across an exchange.
+    /// When disabled, the input is gathered first and both phases run
+    /// back-to-back in the single merge stage.
+    pub two_stage_aggregation: bool,
+    /// Keeps a per-task TopN/Limit below the gather exchange.
+    pub topn_pushdown: bool,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            scan_parallelism: 4,
+            predicate_pushdown: true,
+            two_stage_aggregation: true,
+            topn_pushdown: true,
+        }
+    }
+}
+
+impl OptimizerConfig {
+    /// Everything runs in one task — handy for golden tests that assert
+    /// exact row order without a final sort.
+    pub fn serial() -> Self {
+        OptimizerConfig {
+            scan_parallelism: 1,
+            ..OptimizerConfig::default()
+        }
+    }
+
+    pub fn with_parallelism(mut self, dop: u32) -> Self {
+        assert!(dop > 0, "parallelism must be positive");
+        self.scan_parallelism = dop;
+        self
+    }
+}
+
+/// The rule-based optimizer + physical lowering pass.
+#[derive(Debug, Clone, Default)]
+pub struct Optimizer {
+    config: OptimizerConfig,
+}
+
+impl Optimizer {
+    pub fn new(config: OptimizerConfig) -> Self {
+        Optimizer { config }
+    }
+
+    pub fn config(&self) -> &OptimizerConfig {
+        &self.config
+    }
+
+    /// Runs logical rewrites, then lowers to a physical plan whose root
+    /// always produces a single output partition (the coordinator's result).
+    pub fn optimize(&self, plan: &LogicalPlan) -> Result<Arc<PhysicalNode>> {
+        plan.validate()?;
+        let rewritten = self.rewrite_logical(plan);
+        let (root, parallelism) = self.lower(&rewritten)?;
+        Ok(if parallelism > 1 {
+            Arc::new(PhysicalNode::Exchange {
+                input: root,
+                partitioning: Partitioning::Single,
+                input_parallelism: parallelism,
+            })
+        } else {
+            root
+        })
+    }
+
+    /// Logical-to-logical rewrites (currently: predicate pushdown). Public
+    /// so planner tests can assert on the rewritten tree in isolation.
+    pub fn rewrite_logical(&self, plan: &LogicalPlan) -> Arc<LogicalPlan> {
+        if self.config.predicate_pushdown {
+            pushdown_predicates(plan)
+        } else {
+            Arc::new(plan.clone())
+        }
+    }
+
+    /// Lowers a (rewritten) logical plan. Returns the physical subtree plus
+    /// the parallelism its output is produced at.
+    fn lower(&self, plan: &LogicalPlan) -> Result<(Arc<PhysicalNode>, u32)> {
+        let dop = self.config.scan_parallelism.max(1);
+        Ok(match plan {
+            LogicalPlan::TableScan {
+                table,
+                table_schema,
+                projection,
+            } => (
+                Arc::new(PhysicalNode::TableScan {
+                    table: table.clone(),
+                    table_schema: table_schema.clone(),
+                    projection: projection.clone(),
+                }),
+                dop,
+            ),
+            LogicalPlan::Filter { input, predicate } => {
+                let (child, dist) = self.lower(input)?;
+                (
+                    Arc::new(PhysicalNode::Filter {
+                        input: child,
+                        predicate: predicate.clone(),
+                    }),
+                    dist,
+                )
+            }
+            LogicalPlan::Project { input, exprs } => {
+                let (child, dist) = self.lower(input)?;
+                (
+                    Arc::new(PhysicalNode::Project {
+                        input: child,
+                        exprs: exprs.clone(),
+                    }),
+                    dist,
+                )
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let (child, dist) = self.lower(input)?;
+                let node = if self.config.two_stage_aggregation {
+                    // partial (parallel) → gather exchange → local exchange
+                    // → final (parallelism 1).
+                    let partial = Arc::new(PhysicalNode::PartialAggregate {
+                        input: child,
+                        group_by: group_by.clone(),
+                        aggs: aggs.clone(),
+                    });
+                    let exchange = Arc::new(PhysicalNode::Exchange {
+                        input: partial,
+                        partitioning: Partitioning::Single,
+                        input_parallelism: dist,
+                    });
+                    let local = Arc::new(PhysicalNode::LocalExchange {
+                        input: exchange,
+                        partitioning: Partitioning::Single,
+                    });
+                    Arc::new(PhysicalNode::FinalAggregate {
+                        input: local,
+                        group_count: group_by.len(),
+                        aggs: aggs.clone(),
+                    })
+                } else {
+                    // Gather raw rows, then run both phases back-to-back.
+                    let gathered = gather_if_distributed(child, dist);
+                    let partial = Arc::new(PhysicalNode::PartialAggregate {
+                        input: gathered,
+                        group_by: group_by.clone(),
+                        aggs: aggs.clone(),
+                    });
+                    Arc::new(PhysicalNode::FinalAggregate {
+                        input: partial,
+                        group_count: group_by.len(),
+                        aggs: aggs.clone(),
+                    })
+                };
+                (node, 1)
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                on,
+                join_type,
+            } => {
+                let (probe, probe_dist) = self.lower(left)?;
+                let (build, build_dist) = self.lower(right)?;
+                // Broadcast join: the build side is gathered into a single
+                // partition which every probe task reads in full.
+                let build = gather_if_distributed(build, build_dist);
+                (
+                    Arc::new(PhysicalNode::HashJoin {
+                        probe,
+                        build,
+                        on: on.clone(),
+                        join_type: *join_type,
+                    }),
+                    probe_dist,
+                )
+            }
+            LogicalPlan::TopN { input, keys, n } => {
+                let (child, dist) = self.lower(input)?;
+                if dist > 1 {
+                    let inner: Arc<PhysicalNode> = if self.config.topn_pushdown {
+                        Arc::new(PhysicalNode::TopN {
+                            input: child,
+                            keys: keys.clone(),
+                            n: *n,
+                        })
+                    } else {
+                        child
+                    };
+                    let exchange = Arc::new(PhysicalNode::Exchange {
+                        input: inner,
+                        partitioning: Partitioning::Single,
+                        input_parallelism: dist,
+                    });
+                    (
+                        Arc::new(PhysicalNode::TopN {
+                            input: exchange,
+                            keys: keys.clone(),
+                            n: *n,
+                        }),
+                        1,
+                    )
+                } else {
+                    (
+                        Arc::new(PhysicalNode::TopN {
+                            input: child,
+                            keys: keys.clone(),
+                            n: *n,
+                        }),
+                        dist,
+                    )
+                }
+            }
+            LogicalPlan::Limit { input, n } => {
+                let (child, dist) = self.lower(input)?;
+                if dist > 1 {
+                    let inner: Arc<PhysicalNode> = if self.config.topn_pushdown {
+                        Arc::new(PhysicalNode::Limit {
+                            input: child,
+                            n: *n,
+                        })
+                    } else {
+                        child
+                    };
+                    let exchange = Arc::new(PhysicalNode::Exchange {
+                        input: inner,
+                        partitioning: Partitioning::Single,
+                        input_parallelism: dist,
+                    });
+                    (
+                        Arc::new(PhysicalNode::Limit {
+                            input: exchange,
+                            n: *n,
+                        }),
+                        1,
+                    )
+                } else {
+                    (
+                        Arc::new(PhysicalNode::Limit {
+                            input: child,
+                            n: *n,
+                        }),
+                        dist,
+                    )
+                }
+            }
+        })
+    }
+}
+
+fn gather_if_distributed(node: Arc<PhysicalNode>, dist: u32) -> Arc<PhysicalNode> {
+    if dist > 1 {
+        Arc::new(PhysicalNode::Exchange {
+            input: node,
+            partitioning: Partitioning::Single,
+            input_parallelism: dist,
+        })
+    } else {
+        node
+    }
+}
+
+/// Rewrites the plan bottom-up, sinking every filter as far down as it can
+/// legally go.
+pub fn pushdown_predicates(plan: &LogicalPlan) -> Arc<LogicalPlan> {
+    match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let input = pushdown_predicates(input);
+            push_filter(input, predicate.clone())
+        }
+        LogicalPlan::TableScan { .. } => Arc::new(plan.clone()),
+        LogicalPlan::Project { input, exprs } => Arc::new(LogicalPlan::Project {
+            input: pushdown_predicates(input),
+            exprs: exprs.clone(),
+        }),
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => Arc::new(LogicalPlan::Aggregate {
+            input: pushdown_predicates(input),
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+        }),
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            join_type,
+        } => Arc::new(LogicalPlan::Join {
+            left: pushdown_predicates(left),
+            right: pushdown_predicates(right),
+            on: on.clone(),
+            join_type: *join_type,
+        }),
+        LogicalPlan::TopN { input, keys, n } => Arc::new(LogicalPlan::TopN {
+            input: pushdown_predicates(input),
+            keys: keys.clone(),
+            n: *n,
+        }),
+        LogicalPlan::Limit { input, n } => Arc::new(LogicalPlan::Limit {
+            input: pushdown_predicates(input),
+            n: *n,
+        }),
+    }
+}
+
+/// Pushes one filter predicate into `input` as deep as legality allows.
+fn push_filter(input: Arc<LogicalPlan>, predicate: Expr) -> Arc<LogicalPlan> {
+    match input.as_ref() {
+        // Adjacent filters combine into one conjunction, which keeps
+        // pushing through whatever the inner filter sat on.
+        LogicalPlan::Filter {
+            input: inner,
+            predicate: inner_pred,
+        } => push_filter(inner.clone(), Expr::and(inner_pred.clone(), predicate)),
+        // A filter above a projection becomes a filter below it with the
+        // projected expressions inlined (all our expressions are pure).
+        LogicalPlan::Project {
+            input: inner,
+            exprs,
+        } => {
+            let inlined = substitute_columns(&predicate, exprs);
+            Arc::new(LogicalPlan::Project {
+                input: push_filter(inner.clone(), inlined),
+                exprs: exprs.clone(),
+            })
+        }
+        // A filter that only references group keys commutes with the
+        // aggregation (dropping a group's rows before aggregating equals
+        // dropping the finished group).
+        LogicalPlan::Aggregate {
+            input: inner,
+            group_by,
+            aggs,
+        } if predicate
+            .referenced_columns()
+            .iter()
+            .all(|&c| c < group_by.len()) =>
+        {
+            let remapped = predicate.remap_columns(&|i| group_by[i]);
+            Arc::new(LogicalPlan::Aggregate {
+                input: push_filter(inner.clone(), remapped),
+                group_by: group_by.clone(),
+                aggs: aggs.clone(),
+            })
+        }
+        // TopN/Limit change cardinality — a filter must not cross them.
+        _ => Arc::new(LogicalPlan::Filter { input, predicate }),
+    }
+}
+
+/// Replaces every `Column(i)` in `e` with the `i`-th projected expression.
+fn substitute_columns(e: &Expr, bindings: &[(Expr, String)]) -> Expr {
+    match e {
+        Expr::Column(i) => bindings[*i].0.clone(),
+        Expr::Literal(v) => Expr::Literal(v.clone()),
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Arc::new(substitute_columns(left, bindings)),
+            op: *op,
+            right: Arc::new(substitute_columns(right, bindings)),
+        },
+        Expr::Not(x) => Expr::Not(Arc::new(substitute_columns(x, bindings))),
+        Expr::Between { expr, low, high } => Expr::Between {
+            expr: Arc::new(substitute_columns(expr, bindings)),
+            low: Arc::new(substitute_columns(low, bindings)),
+            high: Arc::new(substitute_columns(high, bindings)),
+        },
+        Expr::InList { expr, list } => Expr::InList {
+            expr: Arc::new(substitute_columns(expr, bindings)),
+            list: list.clone(),
+        },
+        Expr::Like { expr, pattern } => Expr::Like {
+            expr: Arc::new(substitute_columns(expr, bindings)),
+            pattern: pattern.clone(),
+        },
+        Expr::Case {
+            branches,
+            otherwise,
+        } => Expr::Case {
+            branches: branches
+                .iter()
+                .map(|(c, v)| {
+                    (
+                        substitute_columns(c, bindings),
+                        substitute_columns(v, bindings),
+                    )
+                })
+                .collect(),
+            otherwise: otherwise
+                .as_ref()
+                .map(|x| Arc::new(substitute_columns(x, bindings))),
+        },
+        Expr::ExtractYear(x) => Expr::ExtractYear(Arc::new(substitute_columns(x, bindings))),
+        Expr::IsNull(x) => Expr::IsNull(Arc::new(substitute_columns(x, bindings))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accordion_data::schema::{Field, Schema};
+    use accordion_data::types::DataType;
+    use accordion_expr::agg::{AggKind, AggSpec};
+
+    fn scan() -> Arc<LogicalPlan> {
+        Arc::new(LogicalPlan::TableScan {
+            table: "t".into(),
+            table_schema: Schema::shared(vec![
+                Field::new("a", DataType::Int64),
+                Field::new("b", DataType::Int64),
+            ]),
+            projection: vec![0, 1],
+        })
+    }
+
+    #[test]
+    fn filter_sinks_below_project() {
+        // Filter(a2 > 3, Project(a*2 as a2)) → Project(Filter(a*2 > 3)).
+        let plan = LogicalPlan::Filter {
+            input: Arc::new(LogicalPlan::Project {
+                input: scan(),
+                exprs: vec![(Expr::mul(Expr::col(0), Expr::lit_i64(2)), "a2".into())],
+            }),
+            predicate: Expr::gt(Expr::col(0), Expr::lit_i64(3)),
+        };
+        let rewritten = pushdown_predicates(&plan);
+        match rewritten.as_ref() {
+            LogicalPlan::Project { input, .. } => match input.as_ref() {
+                LogicalPlan::Filter { predicate, .. } => {
+                    // The predicate now references the scan column directly.
+                    assert_eq!(predicate.referenced_columns(), vec![0]);
+                }
+                other => panic!("expected Filter under Project, got {other}"),
+            },
+            other => panic!("expected Project at root, got {other}"),
+        }
+        rewritten.validate().unwrap();
+    }
+
+    #[test]
+    fn adjacent_filters_combine() {
+        let plan = LogicalPlan::Filter {
+            input: Arc::new(LogicalPlan::Filter {
+                input: scan(),
+                predicate: Expr::gt(Expr::col(0), Expr::lit_i64(0)),
+            }),
+            predicate: Expr::lt(Expr::col(1), Expr::lit_i64(9)),
+        };
+        let rewritten = pushdown_predicates(&plan);
+        assert_eq!(rewritten.node_count(), 2, "one filter remains: {rewritten}");
+        rewritten.validate().unwrap();
+    }
+
+    #[test]
+    fn group_key_filter_sinks_below_aggregate() {
+        let agg = Arc::new(LogicalPlan::Aggregate {
+            input: scan(),
+            group_by: vec![1],
+            aggs: vec![AggSpec::new(
+                AggKind::Sum,
+                Expr::col(0),
+                DataType::Int64,
+                "s",
+            )],
+        });
+        let plan = LogicalPlan::Filter {
+            input: agg,
+            predicate: Expr::gt(Expr::col(0), Expr::lit_i64(5)), // group key "b"
+        };
+        let rewritten = pushdown_predicates(&plan);
+        match rewritten.as_ref() {
+            LogicalPlan::Aggregate { input, .. } => match input.as_ref() {
+                LogicalPlan::Filter { predicate, .. } => {
+                    assert_eq!(predicate.referenced_columns(), vec![1], "remapped to b");
+                }
+                other => panic!("expected Filter under Aggregate, got {other}"),
+            },
+            other => panic!("expected Aggregate at root, got {other}"),
+        }
+    }
+
+    #[test]
+    fn agg_output_filter_stays_above() {
+        let agg = Arc::new(LogicalPlan::Aggregate {
+            input: scan(),
+            group_by: vec![1],
+            aggs: vec![AggSpec::new(
+                AggKind::Sum,
+                Expr::col(0),
+                DataType::Int64,
+                "s",
+            )],
+        });
+        let plan = LogicalPlan::Filter {
+            input: agg,
+            predicate: Expr::gt(Expr::col(1), Expr::lit_i64(5)), // references SUM
+        };
+        let rewritten = pushdown_predicates(&plan);
+        assert!(matches!(rewritten.as_ref(), LogicalPlan::Filter { .. }));
+    }
+
+    #[test]
+    fn lowering_wraps_distributed_root_in_gather() {
+        let opt = Optimizer::new(OptimizerConfig::default().with_parallelism(4));
+        let phys = opt.optimize(&scan()).unwrap();
+        match phys.as_ref() {
+            PhysicalNode::Exchange {
+                partitioning,
+                input_parallelism,
+                ..
+            } => {
+                assert_eq!(*partitioning, Partitioning::Single);
+                assert_eq!(*input_parallelism, 4);
+            }
+            other => panic!("expected gather Exchange at root, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn serial_plan_has_no_exchange() {
+        let opt = Optimizer::new(OptimizerConfig::serial());
+        let phys = opt.optimize(&scan()).unwrap();
+        assert!(matches!(phys.as_ref(), PhysicalNode::TableScan { .. }));
+    }
+
+    #[test]
+    fn single_stage_aggregation_when_disabled() {
+        let cfg = OptimizerConfig {
+            two_stage_aggregation: false,
+            ..OptimizerConfig::default()
+        };
+        let opt = Optimizer::new(cfg);
+        let agg = LogicalPlan::Aggregate {
+            input: scan(),
+            group_by: vec![1],
+            aggs: vec![AggSpec::new(
+                AggKind::Sum,
+                Expr::col(0),
+                DataType::Int64,
+                "s",
+            )],
+        };
+        let phys = opt.optimize(&agg).unwrap();
+        // Final directly over Partial — exactly one Exchange (the gather
+        // below the partial phase), no LocalExchange.
+        let mut names = Vec::new();
+        phys.visit(&mut |n| names.push(n.name()));
+        assert_eq!(
+            names,
+            vec![
+                "FinalAggregate",
+                "PartialAggregate",
+                "Exchange",
+                "TableScan"
+            ]
+        );
+    }
+}

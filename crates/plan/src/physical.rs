@@ -1,0 +1,481 @@
+//! Physical query plans.
+//!
+//! The optimizer lowers a [`crate::logical::LogicalPlan`] into a
+//! [`PhysicalNode`] tree with **explicit data movement**: [`Exchange`] nodes
+//! mark task-to-task (network) shuffles and are the cut points for stage
+//! fragmentation (paper Fig 4); [`LocalExchange`] nodes mark driver-to-driver
+//! redistribution inside one task and are the cut points for pipeline
+//! splitting (paper Fig 6).
+//!
+//! Aggregation is always represented in the paper's two-phase form
+//! ([`PhysicalNode::PartialAggregate`] / [`PhysicalNode::FinalAggregate`]):
+//! the partial phase runs in the scan-side stage at elastic parallelism, the
+//! final phase merges serialized partial states at parallelism 1 (§4.1).
+//!
+//! [`Exchange`]: PhysicalNode::Exchange
+//! [`LocalExchange`]: PhysicalNode::LocalExchange
+
+use std::fmt;
+use std::sync::Arc;
+
+use accordion_common::StageId;
+use accordion_data::schema::{Field, Schema, SchemaRef};
+use accordion_data::sort::SortKey;
+use accordion_data::types::DataType;
+use accordion_expr::agg::AggSpec;
+use accordion_expr::scalar::Expr;
+
+use crate::logical::JoinType;
+
+/// How the producing side of an exchange partitions its output pages across
+/// the consuming side's tasks (or drivers, for a local exchange).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Partitioning {
+    /// All pages flow to a single consumer (gather).
+    Single,
+    /// Rows are hash-partitioned on key columns into `partitions` buckets.
+    Hash { keys: Vec<usize>, partitions: u32 },
+    /// Pages are dealt round-robin across `partitions` consumers.
+    RoundRobin { partitions: u32 },
+}
+
+impl Partitioning {
+    /// Number of output partitions produced under this scheme.
+    pub fn partition_count(&self) -> u32 {
+        match self {
+            Partitioning::Single => 1,
+            Partitioning::Hash { partitions, .. } | Partitioning::RoundRobin { partitions } => {
+                *partitions
+            }
+        }
+    }
+}
+
+impl fmt::Display for Partitioning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Partitioning::Single => write!(f, "single"),
+            Partitioning::Hash { keys, partitions } => {
+                write!(f, "hash{keys:?}x{partitions}")
+            }
+            Partitioning::RoundRobin { partitions } => write!(f, "rr x{partitions}"),
+        }
+    }
+}
+
+/// How a pipeline's source operator obtains its pages. Determines whether a
+/// driver of that pipeline holds splits (scan pipelines are the elastic ones
+/// in the paper — their drivers can be added/removed between splits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceRole {
+    /// Reads base-table splits.
+    TableScan,
+    /// Pulls pages produced by an upstream stage (remote exchange client).
+    RemoteExchange,
+    /// Pulls pages from a local exchange inside the same task.
+    LocalExchange,
+}
+
+/// A physical plan node. Children are `Arc`-shared, like logical plans.
+#[derive(Debug, Clone)]
+pub enum PhysicalNode {
+    /// Scan of a catalog table with column projection. The leaf of every
+    /// source stage; its splits are assigned to tasks by the scheduler.
+    TableScan {
+        table: String,
+        table_schema: SchemaRef,
+        projection: Vec<usize>,
+    },
+    /// Row filter.
+    Filter {
+        input: Arc<PhysicalNode>,
+        predicate: Expr,
+    },
+    /// Column computation / projection.
+    Project {
+        input: Arc<PhysicalNode>,
+        exprs: Vec<(Expr, String)>,
+    },
+    /// Partial (scan-side) phase of a two-phase aggregation. Output layout:
+    /// group columns first, then the flattened serialized partial state of
+    /// each aggregate (see [`AggSpec::partial_state_types`]).
+    PartialAggregate {
+        input: Arc<PhysicalNode>,
+        group_by: Vec<usize>,
+        aggs: Vec<AggSpec>,
+    },
+    /// Final (merge) phase of a two-phase aggregation; consumes the partial
+    /// layout. Its input's first `group_count` columns are group keys.
+    FinalAggregate {
+        input: Arc<PhysicalNode>,
+        group_count: usize,
+        aggs: Vec<AggSpec>,
+    },
+    /// Hash join: `build` is fully consumed into a hash table (the pipeline
+    /// breaker, paper Fig 6), then `probe` streams through.
+    HashJoin {
+        probe: Arc<PhysicalNode>,
+        build: Arc<PhysicalNode>,
+        /// Pairs of (probe column, build column) equi-join keys.
+        on: Vec<(usize, usize)>,
+        join_type: JoinType,
+    },
+    /// Task-to-task (network) shuffle. Stage fragmentation cuts here.
+    /// `input_parallelism` records the producing stage's DOP, fixed at
+    /// optimization time (later PRs make this elastic at runtime).
+    Exchange {
+        input: Arc<PhysicalNode>,
+        partitioning: Partitioning,
+        input_parallelism: u32,
+    },
+    /// Driver-to-driver redistribution inside one task. Pipeline splitting
+    /// cuts here.
+    LocalExchange {
+        input: Arc<PhysicalNode>,
+        partitioning: Partitioning,
+    },
+    /// Placeholder leaf created by stage fragmentation where an [`Exchange`]
+    /// was cut: pages arrive from `child_stage`'s task output buffers.
+    ///
+    /// [`Exchange`]: PhysicalNode::Exchange
+    RemoteSource {
+        child_stage: StageId,
+        schema: Schema,
+    },
+    /// Full sort (ORDER BY without LIMIT).
+    Sort {
+        input: Arc<PhysicalNode>,
+        keys: Vec<SortKey>,
+    },
+    /// ORDER BY + LIMIT, kept as a bounded heap at execution time.
+    TopN {
+        input: Arc<PhysicalNode>,
+        keys: Vec<SortKey>,
+        n: usize,
+    },
+    /// Plain LIMIT.
+    Limit { input: Arc<PhysicalNode>, n: usize },
+}
+
+impl PhysicalNode {
+    /// Output schema of this node.
+    pub fn schema(&self) -> Schema {
+        match self {
+            PhysicalNode::TableScan {
+                table_schema,
+                projection,
+                ..
+            } => table_schema.project(projection),
+            PhysicalNode::Filter { input, .. } => input.schema(),
+            PhysicalNode::Project { input, exprs } => {
+                let in_schema = input.schema();
+                Schema::new(
+                    exprs
+                        .iter()
+                        .map(|(e, name)| {
+                            let dt = e.data_type(&in_schema).unwrap_or(DataType::Int64);
+                            Field::new(name.clone(), dt)
+                        })
+                        .collect(),
+                )
+            }
+            PhysicalNode::PartialAggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let in_schema = input.schema();
+                let mut fields: Vec<Field> = group_by
+                    .iter()
+                    .map(|&i| in_schema.field(i).clone())
+                    .collect();
+                for a in aggs {
+                    for (i, dt) in a.partial_state_types().into_iter().enumerate() {
+                        fields.push(Field::new(format!("{}#p{i}", a.name), dt));
+                    }
+                }
+                Schema::new(fields)
+            }
+            PhysicalNode::FinalAggregate {
+                input,
+                group_count,
+                aggs,
+            } => {
+                let in_schema = input.schema();
+                let mut fields: Vec<Field> = (0..*group_count)
+                    .map(|i| in_schema.field(i).clone())
+                    .collect();
+                fields.extend(
+                    aggs.iter()
+                        .map(|a| Field::new(a.name.clone(), a.output_type())),
+                );
+                Schema::new(fields)
+            }
+            PhysicalNode::HashJoin { probe, build, .. } => probe.schema().join(&build.schema()),
+            PhysicalNode::Exchange { input, .. }
+            | PhysicalNode::LocalExchange { input, .. }
+            | PhysicalNode::Sort { input, .. }
+            | PhysicalNode::TopN { input, .. }
+            | PhysicalNode::Limit { input, .. } => input.schema(),
+            PhysicalNode::RemoteSource { schema, .. } => schema.clone(),
+        }
+    }
+
+    /// Direct children of this node.
+    pub fn children(&self) -> Vec<&Arc<PhysicalNode>> {
+        match self {
+            PhysicalNode::TableScan { .. } | PhysicalNode::RemoteSource { .. } => vec![],
+            PhysicalNode::Filter { input, .. }
+            | PhysicalNode::Project { input, .. }
+            | PhysicalNode::PartialAggregate { input, .. }
+            | PhysicalNode::FinalAggregate { input, .. }
+            | PhysicalNode::Exchange { input, .. }
+            | PhysicalNode::LocalExchange { input, .. }
+            | PhysicalNode::Sort { input, .. }
+            | PhysicalNode::TopN { input, .. }
+            | PhysicalNode::Limit { input, .. } => vec![input],
+            PhysicalNode::HashJoin { probe, build, .. } => vec![probe, build],
+        }
+    }
+
+    /// Pre-order traversal.
+    pub fn visit(&self, f: &mut dyn FnMut(&PhysicalNode)) {
+        f(self);
+        for c in self.children() {
+            c.visit(f);
+        }
+    }
+
+    /// Number of nodes in the subtree.
+    pub fn node_count(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+
+    /// True if the subtree contains a [`PhysicalNode::TableScan`].
+    pub fn contains_scan(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |n| {
+            if matches!(n, PhysicalNode::TableScan { .. }) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// One-word operator name (display / test assertions).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PhysicalNode::TableScan { .. } => "TableScan",
+            PhysicalNode::Filter { .. } => "Filter",
+            PhysicalNode::Project { .. } => "Project",
+            PhysicalNode::PartialAggregate { .. } => "PartialAggregate",
+            PhysicalNode::FinalAggregate { .. } => "FinalAggregate",
+            PhysicalNode::HashJoin { .. } => "HashJoin",
+            PhysicalNode::Exchange { .. } => "Exchange",
+            PhysicalNode::LocalExchange { .. } => "LocalExchange",
+            PhysicalNode::RemoteSource { .. } => "RemoteSource",
+            PhysicalNode::Sort { .. } => "Sort",
+            PhysicalNode::TopN { .. } => "TopN",
+            PhysicalNode::Limit { .. } => "Limit",
+        }
+    }
+
+    /// Multi-line indented plan rendering (EXPLAIN-style).
+    pub fn display(&self) -> String {
+        let mut out = String::new();
+        self.fmt_indent(&mut out, 0);
+        out
+    }
+
+    fn fmt_indent(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        match self {
+            PhysicalNode::TableScan {
+                table, projection, ..
+            } => out.push_str(&format!("{pad}TableScan: {table} cols={projection:?}\n")),
+            PhysicalNode::Filter { input, .. } => {
+                out.push_str(&format!("{pad}Filter\n"));
+                input.fmt_indent(out, indent + 1);
+            }
+            PhysicalNode::Project { input, exprs } => {
+                let names: Vec<&str> = exprs.iter().map(|(_, n)| n.as_str()).collect();
+                out.push_str(&format!("{pad}Project: {names:?}\n"));
+                input.fmt_indent(out, indent + 1);
+            }
+            PhysicalNode::PartialAggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let names: Vec<&str> = aggs.iter().map(|a| a.name.as_str()).collect();
+                out.push_str(&format!(
+                    "{pad}PartialAggregate: group={group_by:?} aggs={names:?}\n"
+                ));
+                input.fmt_indent(out, indent + 1);
+            }
+            PhysicalNode::FinalAggregate {
+                input,
+                group_count,
+                aggs,
+            } => {
+                let names: Vec<&str> = aggs.iter().map(|a| a.name.as_str()).collect();
+                out.push_str(&format!(
+                    "{pad}FinalAggregate: groups={group_count} aggs={names:?}\n"
+                ));
+                input.fmt_indent(out, indent + 1);
+            }
+            PhysicalNode::HashJoin {
+                probe,
+                build,
+                on,
+                join_type,
+            } => {
+                out.push_str(&format!("{pad}HashJoin[{join_type:?}]: on={on:?}\n"));
+                probe.fmt_indent(out, indent + 1);
+                build.fmt_indent(out, indent + 1);
+            }
+            PhysicalNode::Exchange {
+                input,
+                partitioning,
+                input_parallelism,
+            } => {
+                out.push_str(&format!(
+                    "{pad}Exchange[{partitioning}] from x{input_parallelism}\n"
+                ));
+                input.fmt_indent(out, indent + 1);
+            }
+            PhysicalNode::LocalExchange {
+                input,
+                partitioning,
+            } => {
+                out.push_str(&format!("{pad}LocalExchange[{partitioning}]\n"));
+                input.fmt_indent(out, indent + 1);
+            }
+            PhysicalNode::RemoteSource { child_stage, .. } => {
+                out.push_str(&format!("{pad}RemoteSource: {child_stage}\n"));
+            }
+            PhysicalNode::Sort { input, keys } => {
+                let cols: Vec<usize> = keys.iter().map(|k| k.column).collect();
+                out.push_str(&format!("{pad}Sort: keys={cols:?}\n"));
+                input.fmt_indent(out, indent + 1);
+            }
+            PhysicalNode::TopN { input, keys, n } => {
+                let cols: Vec<usize> = keys.iter().map(|k| k.column).collect();
+                out.push_str(&format!("{pad}TopN: n={n} keys={cols:?}\n"));
+                input.fmt_indent(out, indent + 1);
+            }
+            PhysicalNode::Limit { input, n } => {
+                out.push_str(&format!("{pad}Limit: {n}\n"));
+                input.fmt_indent(out, indent + 1);
+            }
+        }
+    }
+}
+
+impl fmt::Display for PhysicalNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accordion_expr::agg::AggKind;
+
+    fn scan() -> Arc<PhysicalNode> {
+        Arc::new(PhysicalNode::TableScan {
+            table: "t".into(),
+            table_schema: Schema::shared(vec![
+                Field::new("k", DataType::Utf8),
+                Field::new("v", DataType::Int64),
+            ]),
+            projection: vec![0, 1],
+        })
+    }
+
+    #[test]
+    fn partial_schema_flattens_avg_state() {
+        let p = PhysicalNode::PartialAggregate {
+            input: scan(),
+            group_by: vec![0],
+            aggs: vec![AggSpec::new(
+                AggKind::Avg,
+                Expr::col(1),
+                DataType::Int64,
+                "a",
+            )],
+        };
+        let s = p.schema();
+        // group key + (sum, count) partial columns.
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.field(0).name, "k");
+        assert_eq!(s.field(1).data_type, DataType::Float64);
+        assert_eq!(s.field(2).data_type, DataType::Int64);
+    }
+
+    #[test]
+    fn final_schema_recovers_output_names() {
+        let partial = Arc::new(PhysicalNode::PartialAggregate {
+            input: scan(),
+            group_by: vec![0],
+            aggs: vec![AggSpec::new(
+                AggKind::Avg,
+                Expr::col(1),
+                DataType::Int64,
+                "a",
+            )],
+        });
+        let fin = PhysicalNode::FinalAggregate {
+            input: partial,
+            group_count: 1,
+            aggs: vec![AggSpec::new(
+                AggKind::Avg,
+                Expr::col(1),
+                DataType::Int64,
+                "a",
+            )],
+        };
+        let s = fin.schema();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.field(0).name, "k");
+        assert_eq!(s.field(1).name, "a");
+        assert_eq!(s.field(1).data_type, DataType::Float64);
+    }
+
+    #[test]
+    fn partitioning_counts() {
+        assert_eq!(Partitioning::Single.partition_count(), 1);
+        assert_eq!(
+            Partitioning::Hash {
+                keys: vec![0],
+                partitions: 4
+            }
+            .partition_count(),
+            4
+        );
+        assert_eq!(
+            Partitioning::RoundRobin { partitions: 3 }.partition_count(),
+            3
+        );
+    }
+
+    #[test]
+    fn traversal_and_display() {
+        let plan = PhysicalNode::Exchange {
+            input: Arc::new(PhysicalNode::Filter {
+                input: scan(),
+                predicate: Expr::gt(Expr::col(1), Expr::lit_i64(0)),
+            }),
+            partitioning: Partitioning::Single,
+            input_parallelism: 4,
+        };
+        assert_eq!(plan.node_count(), 3);
+        assert!(plan.contains_scan());
+        let text = plan.display();
+        assert!(text.contains("Exchange[single] from x4"));
+        assert!(text.contains("TableScan"));
+    }
+}

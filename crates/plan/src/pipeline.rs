@@ -1,0 +1,452 @@
+//! Pipeline splitting (paper Fig 6).
+//!
+//! Each task executes its fragment as a set of **pipelines**: maximal runs
+//! of operators that stream pages without buffering between them. A
+//! fragment is split at its *pipeline breakers*:
+//!
+//! * every [`PhysicalNode::LocalExchange`] — the producing side becomes its
+//!   own pipeline terminated by an [`OperatorSpec::LocalSink`], and the
+//!   consuming pipeline starts with an [`OperatorSpec::LocalSource`];
+//! * every hash-join build side — it becomes a pipeline terminated by
+//!   [`OperatorSpec::HashJoinBuild`], which materializes the hash table the
+//!   probe pipeline's [`OperatorSpec::HashJoinProbe`] reads.
+//!
+//! Pipelines are emitted producers-first, so executing them in order always
+//! satisfies intra-task data dependencies. The last pipeline ends with
+//! [`OperatorSpec::Output`]: it feeds the task's output buffer.
+
+use accordion_common::{AccordionError, PipelineId, Result, StageId};
+use accordion_data::schema::Schema;
+use accordion_data::sort::SortKey;
+use accordion_expr::agg::AggSpec;
+use accordion_expr::scalar::Expr;
+
+use crate::fragment::PlanFragment;
+use crate::physical::{Partitioning, PhysicalNode, SourceRole};
+
+/// One operator slot of a pipeline, fully describing what the executor
+/// instantiates. Specs carry the output schemas the operators cannot infer
+/// from input pages alone (needed e.g. when the input is empty).
+#[derive(Debug, Clone)]
+pub enum OperatorSpec {
+    /// Source: streams the task's assigned splits of a base table.
+    TableScan {
+        table: String,
+        projection: Vec<usize>,
+    },
+    /// Source: streams pages produced by a child stage.
+    ExchangeSource {
+        child_stage: StageId,
+    },
+    /// Source: drains partition pages of an intra-task local exchange.
+    LocalSource {
+        exchange: usize,
+    },
+    Filter {
+        predicate: Expr,
+    },
+    Project {
+        exprs: Vec<(Expr, String)>,
+    },
+    PartialAggregate {
+        group_by: Vec<usize>,
+        aggs: Vec<AggSpec>,
+        output_schema: Schema,
+    },
+    FinalAggregate {
+        group_count: usize,
+        aggs: Vec<AggSpec>,
+        output_schema: Schema,
+    },
+    /// Sink: consumes the build side of hash join `join` into a hash table.
+    HashJoinBuild {
+        join: usize,
+        keys: Vec<usize>,
+    },
+    /// Streams probe rows against the hash table built by `HashJoinBuild`.
+    HashJoinProbe {
+        join: usize,
+        keys: Vec<usize>,
+        output_schema: Schema,
+    },
+    TopN {
+        keys: Vec<SortKey>,
+        n: usize,
+        schema: Schema,
+    },
+    Sort {
+        keys: Vec<SortKey>,
+    },
+    Limit {
+        n: usize,
+    },
+    /// Sink: pushes pages into local exchange `exchange`.
+    LocalSink {
+        exchange: usize,
+        partitioning: Partitioning,
+    },
+    /// Sink: pushes pages into the task's output buffer.
+    Output,
+}
+
+impl OperatorSpec {
+    pub fn name(&self) -> &'static str {
+        match self {
+            OperatorSpec::TableScan { .. } => "TableScan",
+            OperatorSpec::ExchangeSource { .. } => "ExchangeSource",
+            OperatorSpec::LocalSource { .. } => "LocalSource",
+            OperatorSpec::Filter { .. } => "Filter",
+            OperatorSpec::Project { .. } => "Project",
+            OperatorSpec::PartialAggregate { .. } => "PartialAggregate",
+            OperatorSpec::FinalAggregate { .. } => "FinalAggregate",
+            OperatorSpec::HashJoinBuild { .. } => "HashJoinBuild",
+            OperatorSpec::HashJoinProbe { .. } => "HashJoinProbe",
+            OperatorSpec::TopN { .. } => "TopN",
+            OperatorSpec::Sort { .. } => "Sort",
+            OperatorSpec::Limit { .. } => "Limit",
+            OperatorSpec::LocalSink { .. } => "LocalSink",
+            OperatorSpec::Output => "Output",
+        }
+    }
+
+    /// True for the operators that begin a pipeline.
+    pub fn is_source(&self) -> bool {
+        matches!(
+            self,
+            OperatorSpec::TableScan { .. }
+                | OperatorSpec::ExchangeSource { .. }
+                | OperatorSpec::LocalSource { .. }
+        )
+    }
+
+    /// True for the operators that terminate a pipeline.
+    pub fn is_sink(&self) -> bool {
+        matches!(
+            self,
+            OperatorSpec::HashJoinBuild { .. }
+                | OperatorSpec::LocalSink { .. }
+                | OperatorSpec::Output
+        )
+    }
+}
+
+/// One pipeline of a task: `operators[0]` is a source, the last operator is
+/// a sink, everything between streams pages.
+#[derive(Debug, Clone)]
+pub struct PipelineSpec {
+    pub id: PipelineId,
+    pub operators: Vec<OperatorSpec>,
+}
+
+impl PipelineSpec {
+    /// Where this pipeline's pages come from.
+    pub fn source_role(&self) -> SourceRole {
+        match self.operators.first() {
+            Some(OperatorSpec::TableScan { .. }) => SourceRole::TableScan,
+            Some(OperatorSpec::LocalSource { .. }) => SourceRole::LocalExchange,
+            _ => SourceRole::RemoteExchange,
+        }
+    }
+
+    /// True when this pipeline feeds the task output buffer.
+    pub fn is_output(&self) -> bool {
+        matches!(self.operators.last(), Some(OperatorSpec::Output))
+    }
+
+    /// Operator names in order — convenient for structural assertions.
+    pub fn operator_names(&self) -> Vec<&'static str> {
+        self.operators.iter().map(|o| o.name()).collect()
+    }
+}
+
+/// Splits a fragment into its pipelines at local exchanges and hash-join
+/// build sides. Producer pipelines precede their consumers; the final
+/// pipeline carries [`OperatorSpec::Output`].
+pub fn split_pipelines(fragment: &PlanFragment) -> Result<Vec<PipelineSpec>> {
+    let mut splitter = Splitter {
+        pipelines: Vec::new(),
+        exchanges: 0,
+        joins: 0,
+    };
+    let mut ops = splitter.build(&fragment.root)?;
+    ops.push(OperatorSpec::Output);
+    splitter.pipelines.push(ops);
+    Ok(splitter
+        .pipelines
+        .into_iter()
+        .enumerate()
+        .map(|(i, operators)| PipelineSpec {
+            id: PipelineId(i as u32),
+            operators,
+        })
+        .collect())
+}
+
+struct Splitter {
+    /// Completed producer pipelines, in execution order.
+    pipelines: Vec<Vec<OperatorSpec>>,
+    exchanges: usize,
+    joins: usize,
+}
+
+impl Splitter {
+    /// Returns the operator prefix of the pipeline `node` belongs to,
+    /// pushing any producer pipelines it depends on.
+    fn build(&mut self, node: &PhysicalNode) -> Result<Vec<OperatorSpec>> {
+        match node {
+            PhysicalNode::TableScan {
+                table, projection, ..
+            } => Ok(vec![OperatorSpec::TableScan {
+                table: table.clone(),
+                projection: projection.clone(),
+            }]),
+            PhysicalNode::RemoteSource { child_stage, .. } => {
+                Ok(vec![OperatorSpec::ExchangeSource {
+                    child_stage: *child_stage,
+                }])
+            }
+            PhysicalNode::LocalExchange {
+                input,
+                partitioning,
+            } => {
+                let exchange = self.exchanges;
+                self.exchanges += 1;
+                let mut producer = self.build(input)?;
+                producer.push(OperatorSpec::LocalSink {
+                    exchange,
+                    partitioning: partitioning.clone(),
+                });
+                self.pipelines.push(producer);
+                Ok(vec![OperatorSpec::LocalSource { exchange }])
+            }
+            PhysicalNode::HashJoin {
+                probe, build, on, ..
+            } => {
+                let join = self.joins;
+                self.joins += 1;
+                let mut build_ops = self.build(build)?;
+                build_ops.push(OperatorSpec::HashJoinBuild {
+                    join,
+                    keys: on.iter().map(|&(_, b)| b).collect(),
+                });
+                self.pipelines.push(build_ops);
+                let mut probe_ops = self.build(probe)?;
+                probe_ops.push(OperatorSpec::HashJoinProbe {
+                    join,
+                    keys: on.iter().map(|&(p, _)| p).collect(),
+                    output_schema: node.schema(),
+                });
+                Ok(probe_ops)
+            }
+            PhysicalNode::Filter { input, predicate } => {
+                let mut ops = self.build(input)?;
+                ops.push(OperatorSpec::Filter {
+                    predicate: predicate.clone(),
+                });
+                Ok(ops)
+            }
+            PhysicalNode::Project { input, exprs } => {
+                let mut ops = self.build(input)?;
+                ops.push(OperatorSpec::Project {
+                    exprs: exprs.clone(),
+                });
+                Ok(ops)
+            }
+            PhysicalNode::PartialAggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let output_schema = node.schema();
+                let mut ops = self.build(input)?;
+                ops.push(OperatorSpec::PartialAggregate {
+                    group_by: group_by.clone(),
+                    aggs: aggs.clone(),
+                    output_schema,
+                });
+                Ok(ops)
+            }
+            PhysicalNode::FinalAggregate {
+                input,
+                group_count,
+                aggs,
+            } => {
+                let output_schema = node.schema();
+                let mut ops = self.build(input)?;
+                ops.push(OperatorSpec::FinalAggregate {
+                    group_count: *group_count,
+                    aggs: aggs.clone(),
+                    output_schema,
+                });
+                Ok(ops)
+            }
+            PhysicalNode::Sort { input, keys } => {
+                let mut ops = self.build(input)?;
+                ops.push(OperatorSpec::Sort { keys: keys.clone() });
+                Ok(ops)
+            }
+            PhysicalNode::TopN { input, keys, n } => {
+                let schema = node.schema();
+                let mut ops = self.build(input)?;
+                ops.push(OperatorSpec::TopN {
+                    keys: keys.clone(),
+                    n: *n,
+                    schema,
+                });
+                Ok(ops)
+            }
+            PhysicalNode::Limit { input, n } => {
+                let mut ops = self.build(input)?;
+                ops.push(OperatorSpec::Limit { n: *n });
+                Ok(ops)
+            }
+            PhysicalNode::Exchange { .. } => Err(AccordionError::Plan(
+                "fragment contains an uncut Exchange — run StageTree::build first".into(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::{StageKind, StageTree};
+    use crate::logical::JoinType;
+    use accordion_data::schema::{Field, Schema};
+    use accordion_data::types::DataType;
+    use std::sync::Arc;
+
+    fn scan(name: &str) -> Arc<PhysicalNode> {
+        Arc::new(PhysicalNode::TableScan {
+            table: name.into(),
+            table_schema: Schema::shared(vec![Field::new("a", DataType::Int64)]),
+            projection: vec![0],
+        })
+    }
+
+    fn fragment_of(root: Arc<PhysicalNode>) -> PlanFragment {
+        PlanFragment {
+            stage: accordion_common::StageId(0),
+            root,
+            parallelism: 1,
+            kind: StageKind::Output,
+            child_stages: vec![],
+            output_partitioning: Partitioning::Single,
+        }
+    }
+
+    #[test]
+    fn streaming_fragment_is_one_pipeline() {
+        let root = Arc::new(PhysicalNode::Filter {
+            input: scan("t"),
+            predicate: Expr::gt(Expr::col(0), Expr::lit_i64(0)),
+        });
+        let pipelines = split_pipelines(&fragment_of(root)).unwrap();
+        assert_eq!(pipelines.len(), 1);
+        assert_eq!(
+            pipelines[0].operator_names(),
+            vec!["TableScan", "Filter", "Output"]
+        );
+        assert_eq!(pipelines[0].source_role(), SourceRole::TableScan);
+        assert!(pipelines[0].is_output());
+    }
+
+    #[test]
+    fn local_exchange_breaks_pipeline() {
+        let root = Arc::new(PhysicalNode::Sort {
+            input: Arc::new(PhysicalNode::LocalExchange {
+                input: scan("t"),
+                partitioning: Partitioning::Single,
+            }),
+            keys: vec![SortKey::asc(0)],
+        });
+        let pipelines = split_pipelines(&fragment_of(root)).unwrap();
+        assert_eq!(pipelines.len(), 2);
+        assert_eq!(
+            pipelines[0].operator_names(),
+            vec!["TableScan", "LocalSink"]
+        );
+        assert_eq!(
+            pipelines[1].operator_names(),
+            vec!["LocalSource", "Sort", "Output"]
+        );
+        assert_eq!(pipelines[1].source_role(), SourceRole::LocalExchange);
+        assert!(!pipelines[0].is_output());
+    }
+
+    #[test]
+    fn join_build_side_is_its_own_pipeline() {
+        let root = Arc::new(PhysicalNode::HashJoin {
+            probe: scan("probe"),
+            build: scan("build"),
+            on: vec![(0, 0)],
+            join_type: JoinType::Inner,
+        });
+        let pipelines = split_pipelines(&fragment_of(root)).unwrap();
+        assert_eq!(pipelines.len(), 2);
+        assert_eq!(
+            pipelines[0].operator_names(),
+            vec!["TableScan", "HashJoinBuild"]
+        );
+        assert_eq!(
+            pipelines[1].operator_names(),
+            vec!["TableScan", "HashJoinProbe", "Output"]
+        );
+    }
+
+    #[test]
+    fn uncut_exchange_is_rejected() {
+        let root = Arc::new(PhysicalNode::Exchange {
+            input: scan("t"),
+            partitioning: Partitioning::Single,
+            input_parallelism: 2,
+        });
+        assert!(split_pipelines(&fragment_of(root)).is_err());
+    }
+
+    #[test]
+    fn agg_stage_splits_like_fig6() {
+        // Build the final-agg fragment the optimizer produces, via the real
+        // fragmenter, and check it splits into the two pipelines of Fig 6.
+        use accordion_expr::agg::{AggKind, AggSpec};
+        let partial = Arc::new(PhysicalNode::PartialAggregate {
+            input: scan("t"),
+            group_by: vec![0],
+            aggs: vec![AggSpec::new(
+                AggKind::Count,
+                Expr::col(0),
+                DataType::Int64,
+                "c",
+            )],
+        });
+        let root = Arc::new(PhysicalNode::FinalAggregate {
+            input: Arc::new(PhysicalNode::LocalExchange {
+                input: Arc::new(PhysicalNode::Exchange {
+                    input: partial,
+                    partitioning: Partitioning::Single,
+                    input_parallelism: 2,
+                }),
+                partitioning: Partitioning::Single,
+            }),
+            group_count: 1,
+            aggs: vec![AggSpec::new(
+                AggKind::Count,
+                Expr::col(0),
+                DataType::Int64,
+                "c",
+            )],
+        });
+        let tree = StageTree::build(root).unwrap();
+        let pipelines = split_pipelines(tree.root()).unwrap();
+        assert_eq!(pipelines.len(), 2);
+        assert_eq!(
+            pipelines[0].operator_names(),
+            vec!["ExchangeSource", "LocalSink"]
+        );
+        assert_eq!(
+            pipelines[1].operator_names(),
+            vec!["LocalSource", "FinalAggregate", "Output"]
+        );
+        assert_eq!(pipelines[0].source_role(), SourceRole::RemoteExchange);
+    }
+}

@@ -1,0 +1,250 @@
+//! Structural planner tests: two-stage aggregation shape, fragment cutting,
+//! and pipeline splitting, driven through the public
+//! `LogicalPlanBuilder → Optimizer → StageTree → split_pipelines` API.
+
+use std::sync::Arc;
+
+use accordion_common::StageId;
+use accordion_data::schema::{Field, Schema};
+use accordion_data::types::{DataType, Value};
+use accordion_expr::agg::AggKind;
+use accordion_expr::scalar::Expr;
+use accordion_plan::fragment::{StageKind, StageTree};
+use accordion_plan::optimizer::{Optimizer, OptimizerConfig};
+use accordion_plan::physical::{Partitioning, PhysicalNode, SourceRole};
+use accordion_plan::pipeline::split_pipelines;
+use accordion_plan::LogicalPlanBuilder;
+use accordion_storage::catalog::Catalog;
+use accordion_storage::table::{PartitioningScheme, TableBuilder};
+
+fn catalog() -> Catalog {
+    let c = Catalog::new();
+    let schema = Schema::shared(vec![
+        Field::new("k", DataType::Utf8),
+        Field::new("v", DataType::Int64),
+    ]);
+    let mut b = TableBuilder::new("t", schema, 8);
+    for i in 0..20 {
+        b.push_row(vec![Value::Utf8(format!("g{}", i % 4)), Value::Int64(i)]);
+    }
+    b.register(&c, PartitioningScheme::new(2, 2), 0);
+    c
+}
+
+/// scan → filter → group-by → top-n at DOP 5, the paper's canonical shape.
+fn agg_sort_tree(dop: u32) -> StageTree {
+    let c = catalog();
+    let b = LogicalPlanBuilder::scan(&c, "t").unwrap();
+    let pred = Expr::gt(b.col("v").unwrap(), Expr::lit_i64(2));
+    let b = b.filter(pred).unwrap();
+    let sum = b.agg(AggKind::Sum, "v", "total").unwrap();
+    let logical = b
+        .aggregate(&["k"], vec![sum])
+        .unwrap()
+        .top_n(&[("total", true)], 3)
+        .unwrap()
+        .build();
+    let optimizer = Optimizer::new(OptimizerConfig::default().with_parallelism(dop));
+    let physical = optimizer.optimize(&logical).unwrap();
+    StageTree::build(physical).unwrap()
+}
+
+#[test]
+fn two_stage_agg_has_parallel_partial_and_serial_final() {
+    let tree = agg_sort_tree(5);
+    assert_eq!(tree.len(), 2);
+
+    let source = tree.fragment(StageId(1)).unwrap();
+    assert_eq!(source.kind, StageKind::Source);
+    assert_eq!(source.parallelism, 5, "partial phase keeps the scan DOP");
+    assert_eq!(source.output_partitioning, Partitioning::Single);
+    // Source fragment shape: PartialAggregate over Filter over TableScan.
+    let mut names = Vec::new();
+    source.root.visit(&mut |n| names.push(n.name()));
+    assert_eq!(names, vec!["PartialAggregate", "Filter", "TableScan"]);
+    // The partial output layout is group key + serialized SUM state.
+    let partial_schema = source.schema();
+    assert_eq!(partial_schema.len(), 2);
+    assert_eq!(partial_schema.field(0).name, "k");
+    assert_eq!(partial_schema.field(1).data_type, DataType::Int64);
+
+    let output = tree.root();
+    assert_eq!(output.kind, StageKind::Output);
+    assert_eq!(output.parallelism, 1, "final phase runs at parallelism 1");
+    let mut names = Vec::new();
+    output.root.visit(&mut |n| names.push(n.name()));
+    assert_eq!(
+        names,
+        vec!["TopN", "FinalAggregate", "LocalExchange", "RemoteSource"]
+    );
+}
+
+#[test]
+fn fragment_cutting_yields_expected_stage_tree_shape() {
+    let tree = agg_sort_tree(3);
+    // Exactly one cut: stage 0 (output) fed by stage 1 (source).
+    assert_eq!(tree.len(), 2);
+    assert_eq!(tree.root().child_stages, vec![StageId(1)]);
+    assert!(tree.fragment(StageId(1)).unwrap().child_stages.is_empty());
+    assert_eq!(tree.execution_order(), vec![StageId(1), StageId(0)]);
+    // The final stage's query-facing schema: group key + SUM output.
+    let schema = tree.root().schema();
+    assert_eq!(schema.field(0).name, "k");
+    assert_eq!(schema.field(1).name, "total");
+    assert_eq!(schema.field(1).data_type, DataType::Int64);
+    // Display renders one block per stage.
+    let text = tree.display();
+    assert!(text.contains("Stage 0"));
+    assert!(text.contains("Stage 1"));
+}
+
+#[test]
+fn pipeline_splitting_breaks_at_local_exchange() {
+    let tree = agg_sort_tree(4);
+
+    // Output stage: the local exchange splits it into the two pipelines of
+    // paper Fig 6 — exchange client feeding the local exchange, and the
+    // final-aggregation pipeline draining it.
+    let output_pipelines = split_pipelines(tree.root()).unwrap();
+    assert_eq!(output_pipelines.len(), 2);
+    assert_eq!(
+        output_pipelines[0].operator_names(),
+        vec!["ExchangeSource", "LocalSink"]
+    );
+    assert_eq!(
+        output_pipelines[1].operator_names(),
+        vec!["LocalSource", "FinalAggregate", "TopN", "Output"]
+    );
+    assert_eq!(
+        output_pipelines[0].source_role(),
+        SourceRole::RemoteExchange
+    );
+    assert_eq!(output_pipelines[1].source_role(), SourceRole::LocalExchange);
+    assert!(output_pipelines[1].is_output());
+    assert!(!output_pipelines[0].is_output());
+
+    // Source stage: one streaming pipeline, no breakers.
+    let source_pipelines = split_pipelines(tree.fragment(StageId(1)).unwrap()).unwrap();
+    assert_eq!(source_pipelines.len(), 1);
+    assert_eq!(
+        source_pipelines[0].operator_names(),
+        vec!["TableScan", "Filter", "PartialAggregate", "Output"]
+    );
+    assert_eq!(source_pipelines[0].source_role(), SourceRole::TableScan);
+}
+
+#[test]
+fn serial_aggregation_still_splits_stages() {
+    // Even at DOP 1 the two-phase rewrite keeps partial and final in
+    // separate stages — the boundary later PRs re-parallelize at runtime.
+    let tree = agg_sort_tree(1);
+    assert_eq!(tree.len(), 2);
+    assert_eq!(tree.fragment(StageId(1)).unwrap().parallelism, 1);
+}
+
+#[test]
+fn distributed_scan_gets_gather_stage() {
+    let c = catalog();
+    let logical = LogicalPlanBuilder::scan(&c, "t").unwrap().build();
+    let optimizer = Optimizer::new(OptimizerConfig::default().with_parallelism(4));
+    let tree = StageTree::build(optimizer.optimize(&logical).unwrap()).unwrap();
+    assert_eq!(tree.len(), 2);
+    assert_eq!(tree.root().kind, StageKind::Output);
+    assert!(matches!(
+        tree.root().root.as_ref(),
+        PhysicalNode::RemoteSource { .. }
+    ));
+    assert_eq!(tree.fragment(StageId(1)).unwrap().parallelism, 4);
+}
+
+#[test]
+fn topn_pushdown_keeps_partial_topn_in_scan_stage() {
+    let c = catalog();
+    let b = LogicalPlanBuilder::scan(&c, "t").unwrap();
+    let logical = b.top_n(&[("v", true)], 5).unwrap().build();
+    let optimizer = Optimizer::new(OptimizerConfig::default().with_parallelism(4));
+    let tree = StageTree::build(optimizer.optimize(&logical).unwrap()).unwrap();
+    assert_eq!(tree.len(), 2);
+    // Scan stage ends in a per-task TopN; output stage re-applies it.
+    let source = tree.fragment(StageId(1)).unwrap();
+    assert_eq!(source.root.name(), "TopN");
+    assert_eq!(tree.root().root.name(), "TopN");
+}
+
+#[test]
+fn join_build_side_becomes_child_stage_and_pipeline() {
+    let c = catalog();
+    let schema = Schema::shared(vec![
+        Field::new("k2", DataType::Utf8),
+        Field::new("w", DataType::Int64),
+    ]);
+    let mut b = TableBuilder::new("dim", schema, 8);
+    b.push_row(vec![Value::Utf8("g0".into()), Value::Int64(1)]);
+    b.register(&c, PartitioningScheme::new(2, 1), 0);
+
+    let fact = LogicalPlanBuilder::scan(&c, "t").unwrap();
+    let dim = LogicalPlanBuilder::scan(&c, "dim").unwrap();
+    let logical = fact.join(dim, &[("k", "k2")]).unwrap().build();
+    let optimizer = Optimizer::new(OptimizerConfig::default().with_parallelism(3));
+    let tree = StageTree::build(optimizer.optimize(&logical).unwrap()).unwrap();
+
+    // Three stages: output gather, probe stage (with the join), build-side
+    // scan stage feeding it through an exchange.
+    assert_eq!(tree.len(), 3);
+    let probe_stage = tree.fragment(StageId(1)).unwrap();
+    assert_eq!(probe_stage.kind, StageKind::Source);
+    assert_eq!(probe_stage.child_stages, vec![StageId(2)]);
+    let pipelines = split_pipelines(probe_stage).unwrap();
+    assert_eq!(pipelines.len(), 2, "build side is its own pipeline");
+    assert_eq!(
+        pipelines[0].operator_names(),
+        vec!["ExchangeSource", "HashJoinBuild"]
+    );
+    assert_eq!(
+        pipelines[1].operator_names(),
+        vec!["TableScan", "HashJoinProbe", "Output"]
+    );
+}
+
+#[test]
+fn pushdown_moves_filter_into_scan_stage() {
+    // Filter above a projection ends up beneath it, next to the scan, so it
+    // runs in the elastic source stage.
+    let c = catalog();
+    let b = LogicalPlanBuilder::scan(&c, "t").unwrap();
+    let b = b
+        .project(vec![
+            (Expr::col(0), "k"),
+            (Expr::mul(Expr::col(1), Expr::lit_i64(2)), "v2"),
+        ])
+        .unwrap();
+    let pred = Expr::gt(b.col("v2").unwrap(), Expr::lit_i64(10));
+    let logical = b.filter(pred).unwrap().build();
+    let optimizer = Optimizer::new(OptimizerConfig::default().with_parallelism(2));
+    let tree = StageTree::build(optimizer.optimize(&logical).unwrap()).unwrap();
+    let source = tree.fragment(StageId(1)).unwrap();
+    let mut names = Vec::new();
+    source.root.visit(&mut |n| names.push(n.name()));
+    assert_eq!(
+        names,
+        vec!["Project", "Filter", "TableScan"],
+        "filter sank beneath the projection"
+    );
+    // And the physical plan still validates schema-wise end to end.
+    assert_eq!(tree.root().schema().field(1).name, "v2");
+}
+
+#[test]
+fn optimizer_rejects_invalid_plans() {
+    let schema = Schema::shared(vec![Field::new("a", DataType::Int64)]);
+    let bad = accordion_plan::logical::LogicalPlan::Filter {
+        input: Arc::new(accordion_plan::logical::LogicalPlan::TableScan {
+            table: "t".into(),
+            table_schema: schema,
+            projection: vec![0],
+        }),
+        predicate: Expr::gt(Expr::col(7), Expr::lit_i64(0)),
+    };
+    let optimizer = Optimizer::new(OptimizerConfig::default());
+    assert!(optimizer.optimize(&bad).is_err());
+}

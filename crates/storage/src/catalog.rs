@@ -7,8 +7,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
-
+use accordion_common::sync::RwLock;
 use accordion_common::{AccordionError, Result};
 use accordion_data::schema::SchemaRef;
 
@@ -60,9 +59,7 @@ impl Catalog {
     }
 
     pub fn contains(&self, name: &str) -> bool {
-        self.tables
-            .read()
-            .contains_key(&name.to_ascii_lowercase())
+        self.tables.read().contains_key(&name.to_ascii_lowercase())
     }
 
     /// Names of all registered tables, sorted.

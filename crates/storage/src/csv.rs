@@ -20,22 +20,42 @@ pub struct CsvReader {
     reader: BufReader<File>,
     schema: SchemaRef,
     page_rows: usize,
-    line: String,
+    record: String,
     exhausted: bool,
 }
 
 impl CsvReader {
     pub fn open(path: &Path, schema: SchemaRef, page_rows: usize) -> Result<Self> {
-        let file = File::open(path).map_err(|e| {
-            AccordionError::Storage(format!("cannot open {}: {e}", path.display()))
-        })?;
+        let file = File::open(path)
+            .map_err(|e| AccordionError::Storage(format!("cannot open {}: {e}", path.display())))?;
         Ok(CsvReader {
             reader: BufReader::new(file),
             schema,
             page_rows,
-            line: String::new(),
+            record: String::new(),
             exhausted: false,
         })
+    }
+
+    /// Accumulates one logical record into `self.record`. A record spans
+    /// multiple physical lines when a quoted field contains a newline, so
+    /// lines are appended until the quote count balances. Returns `false`
+    /// at end of file.
+    fn read_record(&mut self) -> Result<bool> {
+        self.record.clear();
+        loop {
+            let n = self.reader.read_line(&mut self.record)?;
+            if n == 0 {
+                // EOF: any partial record (unterminated quote) surfaces as
+                // a parse error downstream.
+                return Ok(!self.record.is_empty());
+            }
+            // Quotes appear only as field delimiters or doubled escapes, so
+            // an even count means every quoted field is closed.
+            if self.record.bytes().filter(|&b| b == b'"').count() % 2 == 0 {
+                return Ok(true);
+            }
+        }
     }
 
     /// Reads the next page, or `None` at end of file.
@@ -45,13 +65,13 @@ impl CsvReader {
         }
         let mut builder = PageBuilder::new(self.schema.clone(), self.page_rows);
         while builder.row_count() < self.page_rows {
-            self.line.clear();
-            let n = self.reader.read_line(&mut self.line)?;
-            if n == 0 {
+            if !self.read_record()? {
                 self.exhausted = true;
                 break;
             }
-            let trimmed = self.line.trim_end_matches(['\n', '\r']);
+            // Trim the record terminator (LF or CRLF); quoted embedded
+            // newlines live before the closing quote and are untouched.
+            let trimmed = self.record.trim_end_matches(['\n', '\r']);
             if trimmed.is_empty() {
                 continue;
             }
@@ -103,34 +123,73 @@ fn parse_value(text: &str, dt: DataType) -> Result<Value> {
     }
 }
 
-/// Splits one CSV record into unquoted field strings.
+/// Splits one CSV record into unquoted field strings. Strict per RFC 4180:
+/// quotes may only open a field, escape inside a quoted field (doubled), or
+/// close it — a stray quote is an error, not data, so corrupted input fails
+/// loudly instead of silently merging rows.
 pub fn parse_csv_line(line: &str) -> Result<Vec<String>> {
+    #[derive(PartialEq)]
+    enum FieldState {
+        /// At the start of a (possibly empty) field.
+        Start,
+        /// Inside an unquoted field.
+        Unquoted,
+        /// Inside a quoted field.
+        Quoted,
+        /// A quoted field just closed; only `,` or end-of-record may follow.
+        Closed,
+    }
     let mut fields = Vec::new();
     let mut cur = String::new();
     let mut chars = line.chars().peekable();
-    let mut in_quotes = false;
+    let mut state = FieldState::Start;
     while let Some(c) = chars.next() {
-        if in_quotes {
-            match c {
+        match state {
+            FieldState::Start => match c {
+                '"' => state = FieldState::Quoted,
+                ',' => fields.push(std::mem::take(&mut cur)),
+                other => {
+                    cur.push(other);
+                    state = FieldState::Unquoted;
+                }
+            },
+            FieldState::Unquoted => match c {
+                ',' => {
+                    fields.push(std::mem::take(&mut cur));
+                    state = FieldState::Start;
+                }
+                '"' => {
+                    return Err(AccordionError::Storage(format!(
+                        "stray quote inside unquoted csv field: {line:?}"
+                    )))
+                }
+                other => cur.push(other),
+            },
+            FieldState::Quoted => match c {
                 '"' => {
                     if chars.peek() == Some(&'"') {
                         chars.next();
                         cur.push('"');
                     } else {
-                        in_quotes = false;
+                        state = FieldState::Closed;
                     }
                 }
                 other => cur.push(other),
-            }
-        } else {
-            match c {
-                ',' => fields.push(std::mem::take(&mut cur)),
-                '"' => in_quotes = true,
-                other => cur.push(other),
-            }
+            },
+            FieldState::Closed => match c {
+                ',' => {
+                    fields.push(std::mem::take(&mut cur));
+                    state = FieldState::Start;
+                }
+                other => {
+                    return Err(AccordionError::Storage(format!(
+                        "unexpected {other:?} after closing quote in csv line: {line:?}"
+                    )))
+                }
+            },
         }
     }
-    if in_quotes {
+    if state == FieldState::Quoted {
         return Err(AccordionError::Storage(format!(
             "unterminated quote in csv line: {line:?}"
         )));
@@ -144,7 +203,7 @@ fn write_field(out: &mut impl Write, v: &Value) -> std::io::Result<()> {
     match v {
         Value::Null => Ok(()),
         Value::Utf8(s) => {
-            if s.contains(',') || s.contains('"') || s.contains('\n') {
+            if s.contains([',', '"', '\n', '\r']) {
                 write!(out, "\"{}\"", s.replace('"', "\"\""))
             } else {
                 write!(out, "{s}")
@@ -231,14 +290,8 @@ mod tests {
 
     #[test]
     fn parse_line_quoting() {
-        assert_eq!(
-            parse_csv_line("a,b,c").unwrap(),
-            vec!["a", "b", "c"]
-        );
-        assert_eq!(
-            parse_csv_line("\"a,b\",c").unwrap(),
-            vec!["a,b", "c"]
-        );
+        assert_eq!(parse_csv_line("a,b,c").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(parse_csv_line("\"a,b\",c").unwrap(), vec!["a,b", "c"]);
         assert_eq!(
             parse_csv_line("\"he said \"\"hi\"\"\",x").unwrap(),
             vec!["he said \"hi\"", "x"]
@@ -266,8 +319,14 @@ mod tests {
 
     #[test]
     fn bool_forms() {
-        assert_eq!(parse_value("true", DataType::Bool).unwrap(), Value::Bool(true));
-        assert_eq!(parse_value("0", DataType::Bool).unwrap(), Value::Bool(false));
+        assert_eq!(
+            parse_value("true", DataType::Bool).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            parse_value("0", DataType::Bool).unwrap(),
+            Value::Bool(false)
+        );
     }
 
     #[test]

@@ -81,31 +81,29 @@ impl SplitPages {
                 next,
                 page_rows,
                 pending,
-            } => {
-                loop {
-                    if let Some((page, offset)) = pending.take() {
-                        let remaining = page.row_count() - offset;
-                        let take = remaining.min(*page_rows);
-                        let out = page.slice(offset, take);
-                        if offset + take < page.row_count() {
-                            *pending = Some((page, offset + take));
-                        }
-                        return Ok(Some(out));
+            } => loop {
+                if let Some((page, offset)) = pending.take() {
+                    let remaining = page.row_count() - offset;
+                    let take = remaining.min(*page_rows);
+                    let out = page.slice(offset, take);
+                    if offset + take < page.row_count() {
+                        *pending = Some((page, offset + take));
                     }
-                    if *next >= pages.len() {
-                        return Ok(None);
-                    }
-                    let page = pages[*next].clone();
-                    *next += 1;
-                    if page.row_count() == 0 {
-                        continue;
-                    }
-                    if page.row_count() <= *page_rows {
-                        return Ok(Some(page));
-                    }
-                    *pending = Some((page, 0));
+                    return Ok(Some(out));
                 }
-            }
+                if *next >= pages.len() {
+                    return Ok(None);
+                }
+                let page = pages[*next].clone();
+                *next += 1;
+                if page.row_count() == 0 {
+                    continue;
+                }
+                if page.row_count() <= *page_rows {
+                    return Ok(Some(page));
+                }
+                *pending = Some((page, 0));
+            },
             SplitPages::Csv(reader) => reader.next_page(),
         }
     }
