@@ -1,1 +1,21 @@
-//! placeholder — implemented later in the build
+//! Cluster scheduling: concurrent multi-task query execution.
+//!
+//! This crate turns the planning stack's [`StageTree`] into running
+//! queries: the [`QueryExecutor`] launches every stage's tasks as soon as
+//! their inputs exist (with streaming exchanges — immediately), runs them
+//! gated by a fixed pool of `worker_threads` compute slots, streams pages
+//! between concurrently running tasks through the elastic exchange buffers
+//! of `accordion-net`, and propagates the first task failure by poisoning
+//! every exchange so sibling tasks unwind.
+//!
+//! The serial reference executor lives in `accordion_exec::executor`; both
+//! drive the identical [`TaskContext`]/driver machinery, so any query that
+//! runs on one produces the same result set on the other — the invariant
+//! the scheduling-determinism test suite pins down.
+//!
+//! [`StageTree`]: accordion_plan::fragment::StageTree
+//! [`TaskContext`]: accordion_exec::driver::TaskContext
+
+pub mod scheduler;
+
+pub use scheduler::QueryExecutor;

@@ -1,0 +1,196 @@
+//! The multi-threaded query scheduler.
+//!
+//! [`QueryExecutor`] launches **every stage's tasks as soon as their inputs
+//! exist** — with streaming exchanges, that is immediately: all tasks of
+//! all stages start together and pages flow between them page-by-page
+//! through the bounded elastic buffers of `accordion-net`.
+//!
+//! ## The worker pool
+//!
+//! Each task runs on its own (cheap, short-lived) thread, but computation
+//! is gated by a compute-slot [`Semaphore`] with
+//! `ExecOptions::worker_threads` permits: at most that many tasks execute
+//! operators at any instant. A task blocked on exchange backpressure — a
+//! full output buffer, or an empty input buffer — yields its slot while
+//! parked (see `accordion_net::buffer`), so a producer stalled behind a
+//! capacity-1 buffer hands its slot to the consumer that will drain it.
+//! This is what makes the pool deadlock-free for any combination of
+//! `worker_threads ≥ 1` and buffer capacity, including one page.
+//!
+//! ## Error propagation
+//!
+//! The first task failure (operator error or panic) poisons every
+//! registered exchange: all sibling tasks unwind with the original error
+//! the next time they touch an endpoint, the coordinator's result drain
+//! fails fast, and `execute_tree` returns that first error.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use accordion_common::sync::{Mutex, Semaphore};
+use accordion_common::{AccordionError, Result};
+use accordion_exec::driver::{run_task, TaskContext};
+use accordion_exec::executor::{drain_result, register_exchanges, ExecOptions, QueryResult};
+use accordion_exec::metrics::QueryMetrics;
+use accordion_net::{ExchangeReader, ExchangeRegistry, ExchangeWriter};
+use accordion_plan::fragment::StageTree;
+use accordion_plan::logical::LogicalPlan;
+use accordion_plan::optimizer::Optimizer;
+use accordion_plan::pipeline::{split_pipelines, PipelineSpec};
+use accordion_storage::catalog::Catalog;
+
+/// Everything one task thread needs, assembled before spawning.
+struct TaskSpec {
+    stage: u32,
+    task: u32,
+    parallelism: u32,
+    pipelines: Arc<Vec<PipelineSpec>>,
+    inputs: HashMap<u32, Box<dyn ExchangeReader>>,
+    output: Box<dyn ExchangeWriter>,
+}
+
+/// Multi-threaded executor: concurrent stages, elastic exchanges, simulated
+/// network. The streaming counterpart of `accordion_exec::execute_tree`.
+#[derive(Debug, Clone, Default)]
+pub struct QueryExecutor {
+    opts: ExecOptions,
+}
+
+impl QueryExecutor {
+    pub fn new(opts: ExecOptions) -> Self {
+        QueryExecutor { opts }
+    }
+
+    pub fn options(&self) -> &ExecOptions {
+        &self.opts
+    }
+
+    /// Executes a fragmented stage tree, running all stages concurrently on
+    /// the worker pool.
+    pub fn execute_tree(&self, catalog: &Catalog, tree: &StageTree) -> Result<QueryResult> {
+        let registry = Arc::new(ExchangeRegistry::new(&self.opts.network));
+        register_exchanges(&registry, tree)?;
+        let gate = Arc::new(Semaphore::new(self.opts.worker_threads.max(1)));
+        let metrics = Arc::new(QueryMetrics::new());
+
+        // Claim every endpoint up front so wiring errors surface before any
+        // thread spawns.
+        let mut specs = Vec::new();
+        for fragment in tree.fragments() {
+            let pipelines = Arc::new(split_pipelines(fragment)?);
+            for task in 0..fragment.parallelism.max(1) {
+                let mut inputs = HashMap::new();
+                for child in &fragment.child_stages {
+                    inputs.insert(child.0, registry.reader(child.0, task, Some(gate.clone()))?);
+                }
+                let output = registry.writer(fragment.stage.0, task, Some(gate.clone()))?;
+                specs.push(TaskSpec {
+                    stage: fragment.stage.0,
+                    task,
+                    parallelism: fragment.parallelism,
+                    pipelines: pipelines.clone(),
+                    inputs,
+                    output,
+                });
+            }
+        }
+        // The coordinator's reader is not gated: the calling thread is not a
+        // worker and only ever waits.
+        let result_reader = registry.reader(0, 0, None)?;
+
+        let first_err: Mutex<Option<AccordionError>> = Mutex::new(None);
+        let mut pages = Vec::new();
+        std::thread::scope(|scope| {
+            for spec in specs {
+                let (registry, gate, metrics) = (&registry, &gate, &metrics);
+                let first_err = &first_err;
+                scope.spawn(move || {
+                    gate.acquire();
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        let TaskSpec {
+                            stage,
+                            task,
+                            parallelism,
+                            pipelines,
+                            inputs,
+                            output,
+                        } = spec;
+                        let mut ctx = TaskContext::new(
+                            catalog,
+                            stage,
+                            task,
+                            parallelism,
+                            self.opts.page_rows,
+                            inputs,
+                            output,
+                            &pipelines,
+                            metrics.clone(),
+                        );
+                        run_task(&pipelines, &mut ctx)
+                    }));
+                    gate.release();
+                    let err = match outcome {
+                        Ok(Ok(())) => None,
+                        Ok(Err(e)) => Some(e),
+                        Err(panic) => Some(AccordionError::Internal(format!(
+                            "task panicked: {}",
+                            panic_message(&panic)
+                        ))),
+                    };
+                    if let Some(e) = err {
+                        {
+                            let mut first = first_err.lock();
+                            if first.is_none() {
+                                *first = Some(e.clone());
+                            }
+                        }
+                        registry.poison(e);
+                    }
+                });
+            }
+            // Drain the root stage's stream while tasks run; on poison the
+            // drain errors out and the scope joins the unwinding tasks.
+            match drain_result(result_reader) {
+                Ok(p) => pages = p,
+                Err(e) => {
+                    let mut first = first_err.lock();
+                    if first.is_none() {
+                        *first = Some(e);
+                    }
+                }
+            }
+        });
+        if let Some(e) = first_err.into_inner() {
+            return Err(e);
+        }
+        Ok(QueryResult::new(
+            tree.root().schema(),
+            pages,
+            metrics.snapshot(registry.stats()),
+        ))
+    }
+
+    /// Convenience entry point: `LogicalPlan → Optimizer → StageTree →
+    /// concurrent tasks → result`.
+    pub fn execute_logical(
+        &self,
+        catalog: &Catalog,
+        plan: &LogicalPlan,
+        optimizer: &Optimizer,
+    ) -> Result<QueryResult> {
+        let physical = optimizer.optimize(plan)?;
+        let tree = StageTree::build(physical)?;
+        self.execute_tree(catalog, &tree)
+    }
+}
+
+fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

@@ -12,15 +12,6 @@ pub struct EngineConfig {
     pub network: NetworkConfig,
     /// Target rows per page produced by scans and operators.
     pub page_rows: usize,
-    /// Initial capacity (in pages) of every elastic buffer. The paper starts
-    /// all buffers at the size of one page (§4.2.2).
-    pub initial_buffer_pages: usize,
-    /// Period of the consumer-side elastic buffer resize, milliseconds
-    /// (paper uses e.g. 500 ms; scaled down with our workloads).
-    pub buffer_resize_period_ms: u64,
-    /// Upper bound on elastic buffer capacity, in pages, to keep memory
-    /// bounded even under extreme producer/consumer skew.
-    pub max_buffer_pages: usize,
     /// Period of the coordinator's runtime-information collection
     /// (task-info fetchers, Fig 18), milliseconds.
     pub info_collection_period_ms: u64,
@@ -45,9 +36,6 @@ impl Default for EngineConfig {
             cluster: ClusterConfig::default(),
             network: NetworkConfig::default(),
             page_rows: 4096,
-            initial_buffer_pages: 1,
-            buffer_resize_period_ms: 100,
-            max_buffer_pages: 256,
             info_collection_period_ms: 100,
             driver_quantum_pages: 8,
             default_stage_dop: 1,
@@ -68,11 +56,11 @@ impl EngineConfig {
                 threads_per_worker: 2,
                 storage_nodes: 2,
             },
-            network: NetworkConfig::unlimited(),
+            network: NetworkConfig {
+                max_buffer_pages: Some(64),
+                ..NetworkConfig::unlimited()
+            },
             page_rows: 256,
-            initial_buffer_pages: 1,
-            buffer_resize_period_ms: 20,
-            max_buffer_pages: 64,
             info_collection_period_ms: 20,
             driver_quantum_pages: 4,
             default_stage_dop: 1,
@@ -111,7 +99,8 @@ impl ClusterConfig {
     }
 }
 
-/// Parameters of the simulated data-plane network.
+/// Parameters of the simulated data-plane network, including the limits of
+/// the elastic exchange buffers that ride on it (`accordion-net`).
 #[derive(Debug, Clone)]
 pub struct NetworkConfig {
     /// Per-node NIC bandwidth in bytes/second (`None` = unlimited).
@@ -121,6 +110,12 @@ pub struct NetworkConfig {
     pub link_latency_us: u64,
     /// Maximum bytes returned by one simulated exchange RPC response.
     pub max_response_bytes: usize,
+    /// Initial capacity (in pages) of every elastic exchange buffer. The
+    /// paper starts all buffers at the size of one page (§4.2.2).
+    pub initial_buffer_pages: usize,
+    /// Upper bound on elastic buffer capacity, in pages (`None` = buffers
+    /// may grow without limit under consumer-side demand).
+    pub max_buffer_pages: Option<usize>,
 }
 
 impl Default for NetworkConfig {
@@ -129,6 +124,8 @@ impl Default for NetworkConfig {
             nic_bandwidth_bytes_per_sec: None,
             link_latency_us: 0,
             max_response_bytes: 4 << 20,
+            initial_buffer_pages: 1,
+            max_buffer_pages: Some(256),
         }
     }
 }
@@ -144,6 +141,21 @@ impl NetworkConfig {
         self.nic_bandwidth_bytes_per_sec = Some(mbps * 1_000_000 / 8);
         self
     }
+
+    /// Fix every exchange buffer at exactly `pages` (no elastic growth).
+    pub fn with_fixed_buffers(mut self, pages: usize) -> Self {
+        assert!(pages > 0, "buffer capacity must be positive");
+        self.initial_buffer_pages = pages;
+        self.max_buffer_pages = Some(pages);
+        self
+    }
+
+    /// Let exchange buffers grow without bound (still starting at
+    /// `initial_buffer_pages`).
+    pub fn with_unbounded_buffers(mut self) -> Self {
+        self.max_buffer_pages = None;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -155,13 +167,25 @@ mod tests {
         let c = EngineConfig::default();
         assert!(c.page_rows > 0);
         assert!(c.cluster.total_threads() > 0);
-        assert_eq!(c.initial_buffer_pages, 1, "paper: buffers start at 1 page");
+        assert_eq!(
+            c.network.initial_buffer_pages, 1,
+            "paper: buffers start at 1 page"
+        );
     }
 
     #[test]
     fn nic_mbps_conversion() {
         let n = NetworkConfig::unlimited().with_nic_mbps(80);
         assert_eq!(n.nic_bandwidth_bytes_per_sec, Some(10_000_000));
+    }
+
+    #[test]
+    fn buffer_shaping_helpers() {
+        let fixed = NetworkConfig::unlimited().with_fixed_buffers(1);
+        assert_eq!(fixed.initial_buffer_pages, 1);
+        assert_eq!(fixed.max_buffer_pages, Some(1));
+        let open = NetworkConfig::unlimited().with_unbounded_buffers();
+        assert_eq!(open.max_buffer_pages, None);
     }
 
     #[test]

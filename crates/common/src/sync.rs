@@ -8,13 +8,19 @@
 
 use std::sync::{self, LockResult};
 
-pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+pub use std::sync::{Condvar, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 fn ignore_poison<G>(r: LockResult<G>) -> G {
     match r {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),
     }
+}
+
+/// [`Condvar::wait`] that recovers the guard from a poisoned lock, pairing
+/// with [`Mutex`]'s poison-ignoring guards.
+pub fn condvar_wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    ignore_poison(cv.wait(guard))
 }
 
 /// Mutual-exclusion lock whose guard accessor never returns `Err`.
@@ -65,10 +71,51 @@ impl<T> RwLock<T> {
     }
 }
 
+/// Counting semaphore gating how many tasks may occupy a compute slot at
+/// once. The cluster scheduler runs one thread per task but hands out only
+/// `worker_threads` permits; a task blocked on exchange backpressure
+/// releases its permit while waiting (see `accordion-net`), which is what
+/// makes bounded exchange buffers deadlock-free on a fixed-size pool.
+#[derive(Debug)]
+pub struct Semaphore {
+    permits: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Semaphore {
+    pub fn new(permits: usize) -> Self {
+        Semaphore {
+            permits: Mutex::new(permits),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a permit is available, then takes it.
+    pub fn acquire(&self) {
+        let mut p = self.permits.lock();
+        while *p == 0 {
+            p = condvar_wait(&self.cv, p);
+        }
+        *p -= 1;
+    }
+
+    /// Returns a permit, waking one waiter.
+    pub fn release(&self) {
+        *self.permits.lock() += 1;
+        self.cv.notify_one();
+    }
+
+    /// Permits currently available (diagnostic only — racy by nature).
+    pub fn available(&self) -> usize {
+        *self.permits.lock()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::Arc;
+    use std::time::Duration;
 
     #[test]
     fn mutex_basic() {
@@ -98,5 +145,25 @@ mod tests {
         // A poisoned std mutex would error here; the wrapper recovers.
         *m.lock() += 1;
         assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn semaphore_gates_concurrency() {
+        let sem = Arc::new(Semaphore::new(2));
+        sem.acquire();
+        sem.acquire();
+        assert_eq!(sem.available(), 0);
+        // A third acquire must block until someone releases.
+        let s2 = sem.clone();
+        let h = std::thread::spawn(move || {
+            s2.acquire();
+            s2.release();
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(!h.is_finished(), "third acquire should be blocked");
+        sem.release();
+        h.join().unwrap();
+        sem.release();
+        assert_eq!(sem.available(), 2);
     }
 }

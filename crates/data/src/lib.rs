@@ -5,7 +5,7 @@
 //!
 //! * [`types`] — the type system ([`types::DataType`], scalar
 //!   [`types::Value`]s).
-//! * [`column`] — typed column vectors with optional validity bitmaps.
+//! * [`mod@column`] — typed column vectors with optional validity bitmaps.
 //! * [`schema`] — named, typed schemas.
 //! * [`page`] — the unit of data flow between operators, drivers and tasks:
 //!   a batch of rows in columnar layout plus the *marker* pages used by the

@@ -1,66 +1,107 @@
 //! Driver execution (paper §2 "Driver Execution").
 //!
-//! A driver instantiates one pipeline's [`OperatorSpec`] list into a chain
-//! of [`PageStream`]s and pulls pages through it until an end page arrives,
-//! delivering each page to the pipeline's sink: the task output buffer, a
-//! local exchange partition, or a hash-join build table.
+//! A task holds **exchange endpoints**, not materialized page maps: one
+//! [`ExchangeReader`] per child stage and one [`ExchangeWriter`] toward its
+//! parent, both streaming page-by-page. A driver instantiates one
+//! pipeline's [`OperatorSpec`] list into a chain of [`PageStream`]s and
+//! pulls pages through it into the pipeline's sink: the task's output
+//! writer, a local exchange partition, or a hash-join build table. Every
+//! operator in the chain is wrapped in a [`MeteredStream`] recording
+//! rows/bytes produced into the query's [`QueryMetrics`].
 //!
-//! The single-node executor runs one driver per pipeline, in the producer-
-//! first order [`accordion_plan::pipeline::split_pipelines`] guarantees, so
-//! every local exchange and join table is fully materialized before its
-//! consumer starts.
+//! Pipelines still run producer-first inside a task (the order
+//! [`accordion_plan::pipeline::split_pipelines`] guarantees), so local
+//! exchanges and join tables are materialized before their intra-task
+//! consumers start. A **multi-partition** local exchange runs its consumer
+//! pipeline once per partition — one driver per partition — which is what
+//! lets hash-partitioned merge stages execute inside a single task.
+//!
+//! When every pipeline has finished, [`run_task`] pushes the in-band end
+//! page through the output writer, closing this task's contribution to the
+//! downstream exchange (paper Fig 13).
+//!
+//! [`PageStream`]: crate::operators::PageStream
+//! [`MeteredStream`]: crate::metrics::MeteredStream
+//! [`QueryMetrics`]: crate::metrics::QueryMetrics
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use accordion_common::{AccordionError, Result};
 use accordion_data::page::{DataPage, EndReason, Page};
+use accordion_net::{route_page, ExchangeReader, ExchangeWriter, RoutePolicy};
 use accordion_plan::pipeline::{OperatorSpec, PipelineSpec};
 use accordion_storage::catalog::Catalog;
 
+use crate::executor::route_policy;
+use crate::metrics::{MeteredStream, QueryMetrics};
 use crate::operators::{
     BoxedStream, FilterOp, FinalHashAggOp, HashJoinProbeOp, JoinTable, LimitOp, PartialHashAggOp,
     ProjectOp, QueueSource, ScanSource, SortOp, TopNOp,
 };
 
-/// Per-child-stage task outputs: `stage id → partition → pages`.
-pub type StageOutputs = HashMap<u32, Vec<Vec<Arc<DataPage>>>>;
+/// Buffered partitions of one intra-task local exchange, routed by the same
+/// [`route_page`] helper the network writers use.
+struct LocalExchange {
+    partitions: Vec<Vec<Arc<DataPage>>>,
+    policy: RoutePolicy,
+    rr_next: usize,
+}
 
 /// Mutable state of one running task.
 pub struct TaskContext<'a> {
     pub catalog: &'a Catalog,
+    /// The stage this task belongs to.
+    pub stage: u32,
     /// This task's sequence number within its stage.
     pub task_index: u32,
-    /// Stage parallelism (used to pick this task's splits / partitions).
+    /// Stage parallelism (used to pick this task's splits).
     pub parallelism: u32,
     pub page_rows: usize,
-    /// Outputs of already-executed child stages.
-    pub child_outputs: &'a StageOutputs,
+    /// Streaming inputs, one reader per child stage id. A reader is consumed
+    /// (moved into the chain) by the pipeline that sources from it.
+    inputs: HashMap<u32, Box<dyn ExchangeReader>>,
+    /// Streaming output toward the parent stage (or the coordinator).
+    output: Box<dyn ExchangeWriter>,
     /// Local exchange buffers, indexed by the splitter's exchange ids.
-    pub local_exchanges: Vec<Vec<Arc<DataPage>>>,
+    local_exchanges: Vec<LocalExchange>,
     /// Hash-join build tables, indexed by the splitter's join ids.
-    pub join_tables: Vec<Option<Arc<JoinTable>>>,
-    /// Pages this task delivers to its output buffer.
-    pub output: Vec<Arc<DataPage>>,
+    join_tables: Vec<Option<Arc<JoinTable>>>,
+    metrics: Arc<QueryMetrics>,
+    /// End reason of the last output pipeline's chain, forwarded by
+    /// [`run_task`] as the task's own end page.
+    end_reason: EndReason,
 }
 
 impl<'a> TaskContext<'a> {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         catalog: &'a Catalog,
+        stage: u32,
         task_index: u32,
         parallelism: u32,
         page_rows: usize,
-        child_outputs: &'a StageOutputs,
+        inputs: HashMap<u32, Box<dyn ExchangeReader>>,
+        output: Box<dyn ExchangeWriter>,
         pipelines: &[PipelineSpec],
+        metrics: Arc<QueryMetrics>,
     ) -> Self {
-        let mut exchanges = 0usize;
+        let mut policies: Vec<RoutePolicy> = Vec::new();
         let mut joins = 0usize;
         for p in pipelines {
             for op in &p.operators {
                 match op {
-                    OperatorSpec::LocalSink { exchange, .. }
-                    | OperatorSpec::LocalSource { exchange } => {
-                        exchanges = exchanges.max(exchange + 1)
+                    OperatorSpec::LocalSink {
+                        exchange,
+                        partitioning,
+                    } => {
+                        if policies.len() <= *exchange {
+                            policies.resize(exchange + 1, RoutePolicy::Single);
+                        }
+                        policies[*exchange] = route_policy(partitioning);
+                    }
+                    OperatorSpec::LocalSource { exchange } if policies.len() <= *exchange => {
+                        policies.resize(exchange + 1, RoutePolicy::Single);
                     }
                     OperatorSpec::HashJoinBuild { join, .. }
                     | OperatorSpec::HashJoinProbe { join, .. } => joins = joins.max(join + 1),
@@ -70,18 +111,51 @@ impl<'a> TaskContext<'a> {
         }
         TaskContext {
             catalog,
+            stage,
             task_index,
             parallelism: parallelism.max(1),
             page_rows,
-            child_outputs,
-            local_exchanges: vec![Vec::new(); exchanges],
+            inputs,
+            output,
+            local_exchanges: policies
+                .into_iter()
+                .map(|policy| LocalExchange {
+                    partitions: vec![Vec::new(); (policy.partition_count() as usize).max(1)],
+                    policy,
+                    rr_next: 0,
+                })
+                .collect(),
             join_tables: vec![None; joins],
-            output: Vec::new(),
+            metrics,
+            end_reason: EndReason::UpstreamFinished,
+        }
+    }
+
+    /// Number of drivers the pipeline needs: one per local-exchange
+    /// partition when it sources from a local exchange, otherwise one.
+    fn driver_count(&self, pipeline: &PipelineSpec) -> usize {
+        match pipeline.operators.first() {
+            Some(OperatorSpec::LocalSource { exchange }) => self
+                .local_exchanges
+                .get(*exchange)
+                .map_or(1, |e| e.partitions.len()),
+            _ => 1,
         }
     }
 }
 
-/// Runs one pipeline to completion inside `ctx`.
+/// Runs every pipeline of the task, then closes its output with the in-band
+/// end page.
+pub fn run_task(pipelines: &[PipelineSpec], ctx: &mut TaskContext<'_>) -> Result<()> {
+    for pipeline in pipelines {
+        run_pipeline(pipeline, ctx)?;
+    }
+    let reason = ctx.end_reason;
+    ctx.output.push(Page::end(reason))
+}
+
+/// Runs one pipeline to completion inside `ctx` — one driver per
+/// local-exchange partition it consumes, a single driver otherwise.
 pub fn run_pipeline(pipeline: &PipelineSpec, ctx: &mut TaskContext<'_>) -> Result<()> {
     let (sink, upstream) = pipeline
         .operators
@@ -94,37 +168,45 @@ pub fn run_pipeline(pipeline: &PipelineSpec, ctx: &mut TaskContext<'_>) -> Resul
             sink.name()
         )));
     }
-    let mut chain = build_chain(upstream, ctx)?;
+    let drivers = ctx.driver_count(pipeline);
+    if drivers > 1 {
+        check_partition_safety(pipeline, upstream, drivers, ctx)?;
+    }
     match sink {
-        OperatorSpec::Output => loop {
-            match chain.next_page()? {
-                Page::End(_) => break,
-                Page::Data(p) => ctx.output.push(p),
+        OperatorSpec::Output => {
+            for driver in 0..drivers {
+                let mut chain = build_chain(upstream, pipeline, driver, ctx)?;
+                loop {
+                    match chain.next_page()? {
+                        Page::End(e) => {
+                            ctx.end_reason = e.reason;
+                            break;
+                        }
+                        page @ Page::Data(_) => ctx.output.push(page)?,
+                    }
+                }
             }
-        },
-        OperatorSpec::LocalSink {
-            exchange,
-            partitioning,
-        } => {
-            if partitioning.partition_count() != 1 {
-                return Err(AccordionError::Execution(format!(
-                    "multi-partition local exchange ({partitioning}) needs multi-driver tasks, \
-                     which this executor does not run yet"
-                )));
-            }
-            loop {
-                match chain.next_page()? {
-                    Page::End(_) => break,
-                    Page::Data(p) => ctx.local_exchanges[*exchange].push(p),
+        }
+        OperatorSpec::LocalSink { exchange, .. } => {
+            for driver in 0..drivers {
+                let mut chain = build_chain(upstream, pipeline, driver, ctx)?;
+                loop {
+                    match chain.next_page()? {
+                        Page::End(_) => break,
+                        Page::Data(p) => route_local(p, *exchange, ctx)?,
+                    }
                 }
             }
         }
         OperatorSpec::HashJoinBuild { join, keys } => {
             let mut pages = Vec::new();
-            loop {
-                match chain.next_page()? {
-                    Page::End(_) => break,
-                    Page::Data(p) => pages.push(p),
+            for driver in 0..drivers {
+                let mut chain = build_chain(upstream, pipeline, driver, ctx)?;
+                loop {
+                    match chain.next_page()? {
+                        Page::End(_) => break,
+                        Page::Data(p) => pages.push(p),
+                    }
                 }
             }
             ctx.join_tables[*join] = Some(Arc::new(JoinTable::build(pages, keys)));
@@ -139,20 +221,106 @@ pub fn run_pipeline(pipeline: &PipelineSpec, ctx: &mut TaskContext<'_>) -> Resul
     Ok(())
 }
 
+/// Per-partition drivers each run their own instance of every operator in
+/// the chain, which is only correct for operators whose result is a union
+/// of per-partition results. A global Limit, Sort or TopN would silently
+/// over-count or mis-order; a FinalAggregate is union-correct only when the
+/// local exchange hash-partitions on its group-key columns (the layout the
+/// hash-partitioned merge plan produces — every row of one group lands in
+/// the same partition).
+fn check_partition_safety(
+    pipeline: &PipelineSpec,
+    upstream: &[OperatorSpec],
+    drivers: usize,
+    ctx: &TaskContext<'_>,
+) -> Result<()> {
+    let policy = match pipeline.operators.first() {
+        Some(OperatorSpec::LocalSource { exchange }) => &ctx.local_exchanges[*exchange].policy,
+        _ => &RoutePolicy::Single,
+    };
+    for op in upstream {
+        match op {
+            OperatorSpec::Limit { .. } | OperatorSpec::Sort { .. } | OperatorSpec::TopN { .. } => {
+                return Err(AccordionError::Execution(format!(
+                    "{} above a {drivers}-partition local exchange needs a merge step \
+                     (per-driver instances would not be globally correct)",
+                    op.name()
+                )));
+            }
+            OperatorSpec::FinalAggregate { group_count, .. } => {
+                let grouped_by_key = matches!(
+                    policy,
+                    RoutePolicy::Hash { keys, .. }
+                        if !keys.is_empty() && keys.iter().all(|&k| k < *group_count)
+                );
+                if !grouped_by_key {
+                    return Err(AccordionError::Execution(format!(
+                        "FinalAggregate above a {drivers}-partition local exchange requires \
+                         hash partitioning on its group keys (got {policy:?}); other routings \
+                         would split a group's partial states across drivers"
+                    )));
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Routes one page into the partitions of a local exchange (same routing
+/// rules as the network writers — see [`route_page`]).
+fn route_local(page: Arc<DataPage>, exchange: usize, ctx: &mut TaskContext<'_>) -> Result<()> {
+    let ex = ctx
+        .local_exchanges
+        .get_mut(exchange)
+        .ok_or_else(|| AccordionError::Execution(format!("unknown local exchange {exchange}")))?;
+    let LocalExchange {
+        partitions,
+        policy,
+        rr_next,
+    } = ex;
+    route_page(&page, policy, rr_next, partitions.len(), &mut |sink, p| {
+        partitions[sink].push(p);
+        Ok(())
+    })
+}
+
 /// Instantiates `specs` (a source followed by streaming operators) into a
-/// pull chain.
-fn build_chain(specs: &[OperatorSpec], ctx: &mut TaskContext<'_>) -> Result<BoxedStream> {
+/// metered pull chain. `driver` selects the local-exchange partition when
+/// the pipeline sources from one.
+fn build_chain(
+    specs: &[OperatorSpec],
+    pipeline: &PipelineSpec,
+    driver: usize,
+    ctx: &mut TaskContext<'_>,
+) -> Result<BoxedStream> {
     let (source, rest) = specs
         .split_first()
         .ok_or_else(|| AccordionError::Execution("pipeline has a sink but no source".into()))?;
-    let mut chain = build_source(source, ctx)?;
+    let mut chain = meter(build_source(source, driver, ctx)?, source, pipeline, ctx);
     for spec in rest {
-        chain = wrap_operator(spec, chain, ctx)?;
+        chain = meter(wrap_operator(spec, chain, ctx)?, spec, pipeline, ctx);
     }
     Ok(chain)
 }
 
-fn build_source(spec: &OperatorSpec, ctx: &mut TaskContext<'_>) -> Result<BoxedStream> {
+fn meter(
+    stream: BoxedStream,
+    spec: &OperatorSpec,
+    pipeline: &PipelineSpec,
+    ctx: &TaskContext<'_>,
+) -> BoxedStream {
+    let m = ctx
+        .metrics
+        .register(ctx.stage, ctx.task_index, pipeline.id.0, spec.name());
+    Box::new(MeteredStream::new(stream, m))
+}
+
+fn build_source(
+    spec: &OperatorSpec,
+    driver: usize,
+    ctx: &mut TaskContext<'_>,
+) -> Result<BoxedStream> {
     match spec {
         OperatorSpec::TableScan { table, projection } => {
             let meta = ctx.catalog.get(table)?;
@@ -173,31 +341,18 @@ fn build_source(spec: &OperatorSpec, ctx: &mut TaskContext<'_>) -> Result<BoxedS
             )))
         }
         OperatorSpec::ExchangeSource { child_stage } => {
-            let partitions = ctx.child_outputs.get(&child_stage.0).ok_or_else(|| {
-                AccordionError::Execution(format!("stage {child_stage} has not produced output"))
+            let reader = ctx.inputs.remove(&child_stage.0).ok_or_else(|| {
+                AccordionError::Execution(format!(
+                    "task has no exchange reader for stage {child_stage}"
+                ))
             })?;
-            // A single-partition child broadcasts to every consumer task; a
-            // multi-partition child must match the consumer parallelism
-            // one-to-one or rows would be silently dropped or duplicated.
-            if partitions.len() > 1 && partitions.len() != ctx.parallelism as usize {
-                return Err(AccordionError::Execution(format!(
-                    "stage {child_stage} produced {} partitions for a consumer of {} tasks",
-                    partitions.len(),
-                    ctx.parallelism
-                )));
-            }
-            let part = ctx.task_index as usize % partitions.len().max(1);
-            let pages = partitions.get(part).cloned().unwrap_or_default();
-            Ok(Box::new(QueueSource::new(
-                pages,
-                EndReason::UpstreamFinished,
-            )))
+            Ok(Box::new(ReaderSource { reader }))
         }
         OperatorSpec::LocalSource { exchange } => {
-            let pages =
-                std::mem::take(ctx.local_exchanges.get_mut(*exchange).ok_or_else(|| {
-                    AccordionError::Execution(format!("unknown local exchange {exchange}"))
-                })?);
+            let ex = ctx.local_exchanges.get_mut(*exchange).ok_or_else(|| {
+                AccordionError::Execution(format!("unknown local exchange {exchange}"))
+            })?;
+            let pages = std::mem::take(&mut ex.partitions[driver]);
             Ok(Box::new(QueueSource::new(
                 pages,
                 EndReason::LocalExchangeDrained,
@@ -207,6 +362,17 @@ fn build_source(spec: &OperatorSpec, ctx: &mut TaskContext<'_>) -> Result<BoxedS
             "pipeline must start with a source, found {}",
             other.name()
         ))),
+    }
+}
+
+/// Adapts an [`ExchangeReader`] into the operator chain.
+struct ReaderSource {
+    reader: Box<dyn ExchangeReader>,
+}
+
+impl crate::operators::PageStream for ReaderSource {
+    fn next_page(&mut self) -> Result<Page> {
+        self.reader.pull()
     }
 }
 

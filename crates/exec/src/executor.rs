@@ -1,59 +1,108 @@
-//! Stage-tree execution.
+//! Serial in-process stage-tree execution over exchange endpoints.
 //!
-//! Executes a fragmented plan bottom-up: every stage runs after all of its
-//! children, each stage runs `parallelism` tasks, and each task runs its
-//! pipelines producer-first. Task outputs are partitioned per the stage's
-//! output partitioning and buffered in memory — the single-node stand-in
-//! for the paper's task output buffers + exchange operators (later PRs move
-//! this behind the simulated network in `accordion-net`).
+//! This module is the **reference implementation** of the execution API:
+//! stages run bottom-up in one thread, but all data still flows through the
+//! same [`ExchangeRegistry`] endpoints the multi-threaded scheduler in
+//! `accordion-cluster` uses — there is no materialized stage-output map
+//! anywhere. Because a whole stage completes before its consumer starts,
+//! the serial path uses [`ExchangeRegistry::in_process`] (unbounded
+//! buffers, free network); bounded elastic buffers, the worker pool and the
+//! NIC model only make sense with concurrent tasks and live in
+//! `accordion-cluster`.
+//!
+//! [`register_exchanges`] — shared with the cluster scheduler — wires one
+//! exchange edge per stage: `parallelism` producer tasks routing by the
+//! stage's output partitioning into one elastic queue per consumer task
+//! (stage 0's consumer is the coordinator).
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use accordion_common::config::NetworkConfig;
 use accordion_common::{AccordionError, Result};
-use accordion_data::hash::hash_partition;
-use accordion_data::page::{DataPage, PageBuilder};
+use accordion_data::page::{DataPage, Page, PageBuilder};
 use accordion_data::schema::{Schema, SchemaRef};
 use accordion_data::types::Value;
-use accordion_plan::fragment::{PlanFragment, StageTree};
+use accordion_net::{ExchangeReader, ExchangeRegistry, RoutePolicy};
+use accordion_plan::fragment::StageTree;
 use accordion_plan::logical::LogicalPlan;
 use accordion_plan::optimizer::Optimizer;
 use accordion_plan::physical::Partitioning;
 use accordion_plan::pipeline::split_pipelines;
 use accordion_storage::catalog::Catalog;
 
-use crate::driver::{run_pipeline, StageOutputs, TaskContext};
+use crate::driver::{run_task, TaskContext};
+use crate::metrics::{QueryMetrics, QueryStats};
 
 /// Executor tuning.
 #[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Target rows per page produced by scans and blocking operators.
     pub page_rows: usize,
+    /// Compute slots of the cluster scheduler's worker pool (used by
+    /// `accordion-cluster`; the serial executor ignores it). Defaults to
+    /// the `ACCORDION_WORKER_THREADS` environment variable, else 4.
+    pub worker_threads: usize,
+    /// Simulated network shaping: elastic exchange buffer limits plus the
+    /// token-bucket NIC model (used by the cluster scheduler).
+    pub network: NetworkConfig,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { page_rows: 1024 }
+        let worker_threads = std::env::var("ACCORDION_WORKER_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(4);
+        ExecOptions {
+            page_rows: 1024,
+            worker_threads,
+            network: NetworkConfig::default(),
+        }
     }
 }
 
 impl ExecOptions {
     pub fn with_page_rows(page_rows: usize) -> Self {
         assert!(page_rows > 0, "page_rows must be positive");
-        ExecOptions { page_rows }
+        ExecOptions {
+            page_rows,
+            ..ExecOptions::default()
+        }
+    }
+
+    pub fn worker_threads(mut self, n: usize) -> Self {
+        assert!(n > 0, "worker_threads must be positive");
+        self.worker_threads = n;
+        self
+    }
+
+    pub fn network(mut self, network: NetworkConfig) -> Self {
+        self.network = network;
+        self
     }
 }
 
-/// The materialized result of a query: the output schema plus the pages the
-/// root stage delivered, in delivery order.
+/// The materialized result of a query: the output schema, the pages the
+/// root stage delivered (in delivery order), and runtime statistics.
 #[derive(Debug, Clone)]
 pub struct QueryResult {
     pub schema: Schema,
     /// `Arc`-shared result pages, exactly as the root stage delivered them.
     pub pages: Vec<Arc<DataPage>>,
+    stats: QueryStats,
 }
 
 impl QueryResult {
+    pub fn new(schema: Schema, pages: Vec<Arc<DataPage>>, stats: QueryStats) -> Self {
+        QueryResult {
+            schema,
+            pages,
+            stats,
+        }
+    }
+
     pub fn row_count(&self) -> usize {
         self.pages.iter().map(|p| p.row_count()).sum()
     }
@@ -61,6 +110,13 @@ impl QueryResult {
     /// All result rows as owned scalars — the assertion path for tests.
     pub fn rows(&self) -> Vec<Vec<Value>> {
         self.pages.iter().flat_map(|p| p.rows()).collect()
+    }
+
+    /// Runtime statistics: rows/bytes produced per operator per task, plus
+    /// exchange transfer counters — the raw material for the §5.2
+    /// `V_remain / R_consume` what-if predictor.
+    pub fn stats(&self) -> &QueryStats {
+        &self.stats
     }
 
     /// The whole result as one page (an empty page of the right arity when
@@ -75,101 +131,100 @@ impl QueryResult {
     }
 }
 
-/// Executes a fragmented stage tree against the catalog.
+/// Converts planner partitioning into the network routing policy.
+pub fn route_policy(p: &Partitioning) -> RoutePolicy {
+    match p {
+        Partitioning::Single => RoutePolicy::Single,
+        Partitioning::Hash { keys, partitions } => RoutePolicy::Hash {
+            keys: keys.clone(),
+            partitions: *partitions,
+        },
+        Partitioning::RoundRobin { partitions } => RoutePolicy::RoundRobin {
+            partitions: *partitions,
+        },
+    }
+}
+
+/// Registers one exchange edge per stage of `tree` in `registry`. The
+/// consumer of a stage is its parent stage's task set; stage 0 is consumed
+/// by the coordinator (one consumer).
+pub fn register_exchanges(registry: &ExchangeRegistry, tree: &StageTree) -> Result<()> {
+    let mut consumers: HashMap<u32, u32> = HashMap::new();
+    consumers.insert(0, 1);
+    for f in tree.fragments() {
+        for c in &f.child_stages {
+            consumers.insert(c.0, f.parallelism.max(1));
+        }
+    }
+    for f in tree.fragments() {
+        let n = consumers.get(&f.stage.0).copied().ok_or_else(|| {
+            AccordionError::Internal(format!("stage {} has no consumer", f.stage))
+        })?;
+        registry.register(
+            f.stage.0,
+            f.parallelism.max(1),
+            route_policy(&f.output_partitioning),
+            n,
+        )?;
+    }
+    Ok(())
+}
+
+/// Drains the coordinator's reader (stage 0) into result pages.
+pub fn drain_result(mut reader: Box<dyn ExchangeReader>) -> Result<Vec<Arc<DataPage>>> {
+    let mut pages = Vec::new();
+    loop {
+        match reader.pull()? {
+            Page::End(_) => return Ok(pages),
+            Page::Data(p) => {
+                if !p.is_empty() {
+                    pages.push(p);
+                }
+            }
+        }
+    }
+}
+
+/// Executes a fragmented stage tree against the catalog, serially in the
+/// calling thread. Stages run bottom-up; every task streams its output
+/// through exchange endpoints.
 pub fn execute_tree(
     catalog: &Catalog,
     tree: &StageTree,
     opts: &ExecOptions,
 ) -> Result<QueryResult> {
-    let mut outputs: StageOutputs = HashMap::new();
+    let registry = ExchangeRegistry::in_process();
+    register_exchanges(&registry, tree)?;
+    let metrics = Arc::new(QueryMetrics::new());
     for stage_id in tree.execution_order() {
         let fragment = tree.fragment(stage_id)?;
-        let partitions = execute_stage(catalog, fragment, &outputs, opts)?;
-        outputs.insert(stage_id.0, partitions);
+        let pipelines = split_pipelines(fragment)?;
+        for task in 0..fragment.parallelism.max(1) {
+            let mut inputs = HashMap::new();
+            for child in &fragment.child_stages {
+                inputs.insert(child.0, registry.reader(child.0, task, None)?);
+            }
+            let writer = registry.writer(fragment.stage.0, task, None)?;
+            let mut ctx = TaskContext::new(
+                catalog,
+                fragment.stage.0,
+                task,
+                fragment.parallelism,
+                opts.page_rows,
+                inputs,
+                writer,
+                &pipelines,
+                metrics.clone(),
+            );
+            run_task(&pipelines, &mut ctx)?;
+        }
     }
-    let mut root_partitions = outputs
-        .remove(&0)
-        .ok_or_else(|| AccordionError::Internal("root stage produced no output".into()))?;
-    if root_partitions.len() > 1 && root_partitions.iter().skip(1).any(|p| !p.is_empty()) {
-        return Err(AccordionError::Internal(
-            "root stage produced more than one output partition".into(),
-        ));
-    }
-    let pages = if root_partitions.is_empty() {
-        Vec::new()
-    } else {
-        root_partitions
-            .swap_remove(0)
-            .into_iter()
-            .filter(|p| !p.is_empty())
-            .collect()
-    };
-    Ok(QueryResult {
-        schema: tree.root().schema(),
+    let pages = drain_result(registry.reader(0, 0, None)?)?;
+    Ok(QueryResult::new(
+        tree.root().schema(),
         pages,
-    })
-}
-
-/// Runs every task of one stage; returns its partitioned output.
-fn execute_stage(
-    catalog: &Catalog,
-    fragment: &PlanFragment,
-    child_outputs: &StageOutputs,
-    opts: &ExecOptions,
-) -> Result<Vec<Vec<Arc<DataPage>>>> {
-    let pipelines = split_pipelines(fragment)?;
-    let n_parts = fragment.output_partitioning.partition_count() as usize;
-    let mut partitions: Vec<Vec<Arc<DataPage>>> = vec![Vec::new(); n_parts.max(1)];
-    let mut rr_next = 0usize;
-    for task in 0..fragment.parallelism {
-        let mut ctx = TaskContext::new(
-            catalog,
-            task,
-            fragment.parallelism,
-            opts.page_rows,
-            child_outputs,
-            &pipelines,
-        );
-        for pipeline in &pipelines {
-            run_pipeline(pipeline, &mut ctx)?;
-        }
-        route_task_output(
-            ctx.output,
-            &fragment.output_partitioning,
-            &mut partitions,
-            &mut rr_next,
-        );
-    }
-    Ok(partitions)
-}
-
-fn route_task_output(
-    pages: Vec<Arc<DataPage>>,
-    partitioning: &Partitioning,
-    partitions: &mut [Vec<Arc<DataPage>>],
-    rr_next: &mut usize,
-) {
-    match partitioning {
-        Partitioning::Single => partitions[0].extend(pages),
-        Partitioning::Hash {
-            keys,
-            partitions: n,
-        } => {
-            for page in pages {
-                for (part, piece) in hash_partition(&page, keys, *n).into_iter().enumerate() {
-                    if !piece.is_empty() {
-                        partitions[part].push(Arc::new(piece));
-                    }
-                }
-            }
-        }
-        Partitioning::RoundRobin { .. } => {
-            for page in pages {
-                partitions[*rr_next % partitions.len()].push(page);
-                *rr_next += 1;
-            }
-        }
-    }
+        metrics.snapshot(registry.stats()),
+    ))
 }
 
 /// Convenience entry point covering the whole paper §2 pipeline:

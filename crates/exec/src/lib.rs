@@ -1,29 +1,40 @@
-//! Vectorized single-node executor for the Accordion IQRE engine.
+//! Vectorized executor for the Accordion IQRE engine.
 //!
 //! Takes the descriptive output of `accordion-plan` — a [`StageTree`] of
-//! fragments, each split into pipelines of operator specs — and runs it:
+//! fragments, each split into pipelines of operator specs — and runs it
+//! against the streaming exchange endpoints of `accordion-net`:
 //!
 //! * [`operators`] — the physical operators as pull-based [`Page`] streams
 //!   (scan over splits, filter, project, partial/final hash aggregation,
 //!   sort, top-N, limit, hash join).
-//! * [`driver`] — instantiates one pipeline into an operator chain and
-//!   pulls it to completion into the pipeline's sink (paper §2 "Driver
-//!   Execution").
-//! * [`executor`] — runs stages bottom-up at their planned parallelism,
-//!   buffering exchanged pages in memory.
+//! * [`driver`] — instantiates one pipeline into a metered operator chain
+//!   and pulls it to completion into the pipeline's sink (paper §2 "Driver
+//!   Execution"). A task holds an `ExchangeWriter` toward its parent stage
+//!   and one `ExchangeReader` per child stage; multi-partition local
+//!   exchanges run one driver per partition.
+//! * [`executor`] — the serial in-process reference executor (stages run
+//!   bottom-up in one thread, streaming through unbounded in-process
+//!   exchanges) plus the exchange-wiring helpers shared with the
+//!   multi-threaded scheduler in `accordion-cluster`.
+//! * [`metrics`] — per-operator row/byte counters and rate meters exposed
+//!   through [`QueryResult::stats`].
 //!
-//! Everything here is deliberately synchronous and deterministic: the task/
-//! driver thread pools, elastic buffers and the shuffle network arrive in
-//! later PRs (`accordion-cluster`, `accordion-net`) on top of these
-//! operators.
+//! For concurrent stage execution on a worker pool with bounded elastic
+//! buffers and the simulated NIC, use `accordion_cluster::QueryExecutor`.
 //!
 //! [`StageTree`]: accordion_plan::fragment::StageTree
 //! [`Page`]: accordion_data::page::Page
+//! [`QueryResult::stats`]: executor::QueryResult::stats
 
 pub mod driver;
 pub mod executor;
+pub mod metrics;
 pub mod operators;
 
-pub use driver::{run_pipeline, StageOutputs, TaskContext};
-pub use executor::{execute_logical, execute_tree, ExecOptions, QueryResult};
+pub use driver::{run_pipeline, run_task, TaskContext};
+pub use executor::{
+    drain_result, execute_logical, execute_tree, register_exchanges, route_policy, ExecOptions,
+    QueryResult,
+};
+pub use metrics::{OperatorStats, QueryMetrics, QueryStats};
 pub use operators::{JoinTable, PageStream};

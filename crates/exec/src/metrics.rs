@@ -1,0 +1,193 @@
+//! Per-query runtime metrics (paper §5.1 groundwork).
+//!
+//! Every driver chain wires a [`MeteredStream`] around each operator it
+//! instantiates, counting rows and bytes produced and feeding a windowed
+//! [`RateMeter`] — the `R_consume` side of the §5.2 what-if predictor
+//! (`T_remain = V_remain / R_consume`). [`QueryMetrics`] collects the
+//! per-(stage, task, pipeline, operator) registrations; a final
+//! [`QueryMetrics::snapshot`] becomes the [`QueryStats`] exposed through
+//! `QueryResult::stats()`.
+
+use std::sync::Arc;
+
+use accordion_common::clock::{SharedClock, SystemClock};
+use accordion_common::metrics::{Counter, RateMeter};
+use accordion_common::sync::Mutex;
+use accordion_common::Result;
+use accordion_data::page::Page;
+use accordion_net::ExchangeStats;
+
+use crate::operators::{BoxedStream, PageStream};
+
+/// Live counters of one operator instance inside one driver.
+#[derive(Debug)]
+pub struct OperatorMetrics {
+    pub stage: u32,
+    pub task: u32,
+    pub pipeline: u32,
+    pub operator: &'static str,
+    pub rows: Counter,
+    pub bytes: Counter,
+    pub rate: RateMeter,
+}
+
+/// Collector shared by every task of one query execution.
+#[derive(Debug)]
+pub struct QueryMetrics {
+    clock: SharedClock,
+    operators: Mutex<Vec<Arc<OperatorMetrics>>>,
+}
+
+impl QueryMetrics {
+    pub fn new() -> Self {
+        QueryMetrics {
+            clock: SystemClock::shared(),
+            operators: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Registers one operator instance and returns its counters.
+    pub fn register(
+        &self,
+        stage: u32,
+        task: u32,
+        pipeline: u32,
+        operator: &'static str,
+    ) -> Arc<OperatorMetrics> {
+        let m = Arc::new(OperatorMetrics {
+            stage,
+            task,
+            pipeline,
+            operator,
+            rows: Counter::new(),
+            bytes: Counter::new(),
+            rate: RateMeter::new(self.clock.clone()),
+        });
+        self.operators.lock().push(m.clone());
+        m
+    }
+
+    /// Final snapshot: samples every rate meter and freezes the counters.
+    pub fn snapshot(&self, exchange: ExchangeStats) -> QueryStats {
+        let operators = self
+            .operators
+            .lock()
+            .iter()
+            .map(|m| OperatorStats {
+                stage: m.stage,
+                task: m.task,
+                pipeline: m.pipeline,
+                operator: m.operator,
+                rows: m.rows.get(),
+                bytes: m.bytes.get(),
+                rows_per_sec: m.rate.sample(),
+            })
+            .collect();
+        QueryStats {
+            operators,
+            exchange,
+        }
+    }
+}
+
+impl Default for QueryMetrics {
+    fn default() -> Self {
+        QueryMetrics::new()
+    }
+}
+
+/// Frozen per-operator counters of one finished operator instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatorStats {
+    pub stage: u32,
+    pub task: u32,
+    pub pipeline: u32,
+    pub operator: &'static str,
+    /// Rows this operator produced (pages leaving it, not entering).
+    pub rows: u64,
+    /// Bytes this operator produced.
+    pub bytes: u64,
+    /// Output rate over the operator's lifetime, rows/second.
+    pub rows_per_sec: f64,
+}
+
+/// Runtime statistics of one executed query.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryStats {
+    /// One entry per operator instance per driver, in registration order.
+    pub operators: Vec<OperatorStats>,
+    /// Aggregate shuffle-exchange transfer counters.
+    pub exchange: ExchangeStats,
+}
+
+impl QueryStats {
+    /// Total rows produced across all instances of the named operator.
+    pub fn rows_produced(&self, operator: &str) -> u64 {
+        self.operators
+            .iter()
+            .filter(|o| o.operator == operator)
+            .map(|o| o.rows)
+            .sum()
+    }
+
+    /// Total bytes produced across all instances of the named operator.
+    pub fn bytes_produced(&self, operator: &str) -> u64 {
+        self.operators
+            .iter()
+            .filter(|o| o.operator == operator)
+            .map(|o| o.bytes)
+            .sum()
+    }
+}
+
+/// Wraps an operator stream, recording every page it produces.
+pub struct MeteredStream {
+    inner: BoxedStream,
+    metrics: Arc<OperatorMetrics>,
+}
+
+impl MeteredStream {
+    pub fn new(inner: BoxedStream, metrics: Arc<OperatorMetrics>) -> Self {
+        MeteredStream { inner, metrics }
+    }
+}
+
+impl PageStream for MeteredStream {
+    fn next_page(&mut self) -> Result<Page> {
+        let page = self.inner.next_page()?;
+        if let Page::Data(p) = &page {
+            let rows = p.row_count() as u64;
+            self.metrics.rows.add(rows);
+            self.metrics.bytes.add(p.byte_size() as u64);
+            self.metrics.rate.record(rows);
+        }
+        Ok(page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::QueueSource;
+    use accordion_data::column::Column;
+    use accordion_data::page::{DataPage, EndReason};
+
+    #[test]
+    fn metered_stream_counts_rows_and_bytes() {
+        let metrics = QueryMetrics::new();
+        let m = metrics.register(0, 0, 0, "TableScan");
+        let pages = vec![
+            Arc::new(DataPage::new(vec![Column::from_i64(vec![1, 2])])),
+            Arc::new(DataPage::new(vec![Column::from_i64(vec![3])])),
+        ];
+        let mut s = MeteredStream::new(
+            Box::new(QueueSource::new(pages, EndReason::UpstreamFinished)),
+            m,
+        );
+        while !s.next_page().unwrap().is_end() {}
+        let stats = metrics.snapshot(ExchangeStats::default());
+        assert_eq!(stats.rows_produced("TableScan"), 3);
+        assert!(stats.bytes_produced("TableScan") > 0);
+        assert_eq!(stats.operators.len(), 1);
+    }
+}

@@ -268,7 +268,19 @@ impl Expr {
         }
     }
 
-    /// Infers the output type against an input schema.
+    /// Operand type for compatibility checks: `None` for an untyped NULL
+    /// literal (NULL compares with anything — the result is just NULL).
+    fn operand_type(&self, input: &Schema) -> Result<Option<DataType>> {
+        if matches!(self, Expr::Literal(Value::Null)) {
+            return Ok(None);
+        }
+        self.data_type(input).map(Some)
+    }
+
+    /// Infers the output type against an input schema, rejecting operand
+    /// type combinations that could never match at runtime (e.g.
+    /// `int_col > 'string'` — comparisons across incompatible types would
+    /// otherwise type-check as Bool and silently select nothing).
     pub fn data_type(&self, input: &Schema) -> Result<DataType> {
         match self {
             Expr::Column(i) => input
@@ -280,7 +292,20 @@ impl Expr {
                 .data_type()
                 .ok_or_else(|| AccordionError::Analysis("untyped NULL literal".into())),
             Expr::Binary { left, op, right } => {
-                if op.is_comparison() || op.is_logical() {
+                if op.is_comparison() {
+                    check_comparable(left, right, input, *op)?;
+                    return Ok(DataType::Bool);
+                }
+                if op.is_logical() {
+                    for side in [left, right] {
+                        if let Some(t) = side.operand_type(input)? {
+                            if t != DataType::Bool {
+                                return Err(AccordionError::Analysis(format!(
+                                    "{op} requires boolean operands, got {t}"
+                                )));
+                            }
+                        }
+                    }
                     return Ok(DataType::Bool);
                 }
                 let lt = left.data_type(input)?;
@@ -300,12 +325,56 @@ impl Expr {
                     ))),
                 }
             }
-            Expr::Not(_)
-            | Expr::Between { .. }
-            | Expr::InList { .. }
-            | Expr::Like { .. }
-            | Expr::IsNull(_) => Ok(DataType::Bool),
-            Expr::ExtractYear(_) => Ok(DataType::Int64),
+            Expr::Between { expr, low, high } => {
+                check_comparable(expr, low, input, BinaryOp::GtEq)?;
+                check_comparable(expr, high, input, BinaryOp::LtEq)?;
+                Ok(DataType::Bool)
+            }
+            Expr::InList { expr, list } => {
+                if let Some(t) = expr.operand_type(input)? {
+                    for v in list {
+                        if let Some(vt) = v.data_type() {
+                            if !comparable_types(t, vt) {
+                                return Err(AccordionError::Analysis(format!(
+                                    "IN list value of type {vt} is not comparable to {t}"
+                                )));
+                            }
+                        }
+                    }
+                }
+                Ok(DataType::Bool)
+            }
+            Expr::Like { expr, .. } => {
+                if let Some(t) = expr.operand_type(input)? {
+                    if t != DataType::Utf8 {
+                        return Err(AccordionError::Analysis(format!(
+                            "LIKE requires a string operand, got {t}"
+                        )));
+                    }
+                }
+                Ok(DataType::Bool)
+            }
+            Expr::Not(e) => {
+                if let Some(t) = e.operand_type(input)? {
+                    if t != DataType::Bool {
+                        return Err(AccordionError::Analysis(format!(
+                            "NOT requires a boolean operand, got {t}"
+                        )));
+                    }
+                }
+                Ok(DataType::Bool)
+            }
+            Expr::IsNull(_) => Ok(DataType::Bool),
+            Expr::ExtractYear(e) => {
+                if let Some(t) = e.operand_type(input)? {
+                    if t != DataType::Date32 {
+                        return Err(AccordionError::Analysis(format!(
+                            "EXTRACT YEAR requires a date operand, got {t}"
+                        )));
+                    }
+                }
+                Ok(DataType::Int64)
+            }
             Expr::Case {
                 branches,
                 otherwise,
@@ -481,6 +550,26 @@ impl Expr {
         }
         Ok(out)
     }
+}
+
+/// True when values of the two types can be meaningfully ordered against
+/// each other: identical types, or any numeric pair (Int64/Float64 promote).
+fn comparable_types(a: DataType, b: DataType) -> bool {
+    a == b || (a.is_numeric() && b.is_numeric())
+}
+
+/// Rejects comparisons whose operand types could never match at runtime.
+fn check_comparable(left: &Expr, right: &Expr, input: &Schema, op: BinaryOp) -> Result<()> {
+    let lt = left.operand_type(input)?;
+    let rt = right.operand_type(input)?;
+    if let (Some(a), Some(b)) = (lt, rt) {
+        if !comparable_types(a, b) {
+            return Err(AccordionError::Analysis(format!(
+                "cannot compare {a} {op} {b}: incompatible types"
+            )));
+        }
+    }
+    Ok(())
 }
 
 fn broadcast_literal(v: &Value, n: usize) -> Column {
@@ -898,6 +987,97 @@ mod tests {
             DataType::Float64
         );
         assert!(Expr::col(9).data_type(&schema).is_err());
+    }
+
+    #[test]
+    fn incompatible_comparisons_rejected_at_type_check() {
+        let schema = Schema::new(vec![
+            Field::new("i", DataType::Int64),
+            Field::new("s", DataType::Utf8),
+            Field::new("d", DataType::Date32),
+        ]);
+        // int_col > 'string' — the ROADMAP gap — is now an analysis error.
+        let e = Expr::gt(Expr::col(0), Expr::lit_str("banana"));
+        assert!(matches!(
+            e.data_type(&schema),
+            Err(AccordionError::Analysis(_))
+        ));
+        // string vs date, date vs int: also rejected.
+        assert!(Expr::eq(Expr::col(1), Expr::lit_date(7))
+            .data_type(&schema)
+            .is_err());
+        assert!(Expr::lt(Expr::col(2), Expr::lit_i64(7))
+            .data_type(&schema)
+            .is_err());
+        // BETWEEN / IN / LIKE get the same treatment.
+        assert!(
+            Expr::between(Expr::col(0), Expr::lit_str("a"), Expr::lit_str("b"))
+                .data_type(&schema)
+                .is_err()
+        );
+        let in_list = Expr::InList {
+            expr: Arc::new(Expr::col(0)),
+            list: vec![Value::Utf8("x".into())],
+        };
+        assert!(in_list.data_type(&schema).is_err());
+        let like_int = Expr::Like {
+            expr: Arc::new(Expr::col(0)),
+            pattern: "a%".into(),
+        };
+        assert!(like_int.data_type(&schema).is_err());
+        // AND over non-boolean operands is rejected too.
+        assert!(Expr::and(Expr::col(0), Expr::col(1))
+            .data_type(&schema)
+            .is_err());
+        // NOT over a non-boolean and EXTRACT YEAR over a non-date as well.
+        assert!(Expr::Not(Arc::new(Expr::col(0)))
+            .data_type(&schema)
+            .is_err());
+        assert!(Expr::ExtractYear(Arc::new(Expr::col(0)))
+            .data_type(&schema)
+            .is_err());
+        // ...while their legal forms still type-check.
+        assert_eq!(
+            Expr::Not(Arc::new(Expr::gt(Expr::col(0), Expr::lit_i64(1))))
+                .data_type(&schema)
+                .unwrap(),
+            DataType::Bool
+        );
+        assert_eq!(
+            Expr::ExtractYear(Arc::new(Expr::col(2)))
+                .data_type(&schema)
+                .unwrap(),
+            DataType::Int64
+        );
+    }
+
+    #[test]
+    fn compatible_comparisons_still_type_check() {
+        let schema = Schema::new(vec![
+            Field::new("i", DataType::Int64),
+            Field::new("f", DataType::Float64),
+            Field::new("s", DataType::Utf8),
+        ]);
+        // Numeric cross-type comparison promotes.
+        assert_eq!(
+            Expr::gt(Expr::col(0), Expr::col(1))
+                .data_type(&schema)
+                .unwrap(),
+            DataType::Bool
+        );
+        // NULL literal compares with anything (result is NULL, not an error).
+        assert_eq!(
+            Expr::eq(Expr::col(2), Expr::lit(Value::Null))
+                .data_type(&schema)
+                .unwrap(),
+            DataType::Bool
+        );
+        assert_eq!(
+            Expr::eq(Expr::col(2), Expr::lit_str("x"))
+                .data_type(&schema)
+                .unwrap(),
+            DataType::Bool
+        );
     }
 
     #[test]

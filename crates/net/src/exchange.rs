@@ -1,0 +1,576 @@
+//! Exchange endpoints: the streaming boundary between stages.
+//!
+//! A stage's tasks no longer hand a materialized page map to their
+//! consumers; they hold an [`ExchangeWriter`] toward the parent stage and
+//! one [`ExchangeReader`] per child stage, both page-granular and blocking.
+//! Termination is **in-band**: pushing `Page::End(reason)` closes a
+//! producer's contribution (paper Fig 13), and a reader receives a single
+//! end page once every producer has finished and the buffers are drained.
+//!
+//! The [`ExchangeRegistry`] owns the wiring. For every stage it builds one
+//! [`ElasticQueue`] per consumer task and hands out:
+//!
+//! * writers that route data pages by the stage's output [`RoutePolicy`] —
+//!   gather/broadcast (`Single`), hash partitioning, or round-robin — while
+//!   charging each transfer against the shared [`NicModel`];
+//! * readers bound to one consumer task's queue.
+//!
+//! A failed task [`ExchangeRegistry::poison`]s the registry: every queue
+//! fails, which unwinds all blocked sibling tasks with the original error.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use accordion_common::config::NetworkConfig;
+use accordion_common::sync::{Mutex, Semaphore};
+use accordion_common::{AccordionError, Result};
+use accordion_data::hash::hash_partition;
+use accordion_data::page::{DataPage, EndReason, Page};
+
+use crate::buffer::{ElasticQueue, ExchangeLimits};
+use crate::nic::NicModel;
+
+/// Producer side of one exchange edge, held by a running task.
+pub trait ExchangeWriter: Send {
+    /// Delivers one page downstream, blocking while every destination
+    /// buffer is full. `Page::End` is the in-band termination signal: it
+    /// closes this producer's contribution to the edge and must be the last
+    /// page pushed.
+    fn push(&mut self, page: Page) -> Result<()>;
+}
+
+/// Consumer side of one exchange edge, held by a running task.
+pub trait ExchangeReader: Send {
+    /// Blocks until the next page is available. Returns `Page::End` exactly
+    /// once, after every producer finished and the buffer drained; callers
+    /// must stop pulling then.
+    fn pull(&mut self) -> Result<Page>;
+}
+
+/// How a writer routes data pages across the consumer-side queues. Mirrors
+/// `accordion_plan::physical::Partitioning` without depending on the plan
+/// crate (the executor converts between the two).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// One output partition. With one consumer this is a gather; with many
+    /// consumers every page is broadcast to each of them (join build side).
+    Single,
+    /// Rows are hash-partitioned on `keys` into `partitions` queues.
+    Hash { keys: Vec<usize>, partitions: u32 },
+    /// Whole pages are dealt round-robin across `partitions` queues.
+    RoundRobin { partitions: u32 },
+}
+
+impl RoutePolicy {
+    pub fn partition_count(&self) -> u32 {
+        match self {
+            RoutePolicy::Single => 1,
+            RoutePolicy::Hash { partitions, .. } | RoutePolicy::RoundRobin { partitions } => {
+                *partitions
+            }
+        }
+    }
+}
+
+/// Routes one data page across `sinks` delivery targets according to
+/// `policy`: gather/broadcast clones the (`Arc`-shared) page to every sink,
+/// hash splits rows by key, round-robin deals whole pages advancing
+/// `rr_next`. Empty pages and empty hash pieces are skipped. Shared by the
+/// network writers and the executor's intra-task local exchanges so the two
+/// routing paths cannot diverge.
+pub fn route_page(
+    page: &Arc<DataPage>,
+    policy: &RoutePolicy,
+    rr_next: &mut usize,
+    sinks: usize,
+    deliver: &mut dyn FnMut(usize, Arc<DataPage>) -> Result<()>,
+) -> Result<()> {
+    if page.is_empty() {
+        return Ok(());
+    }
+    match policy {
+        RoutePolicy::Single => {
+            for sink in 0..sinks.max(1) {
+                deliver(sink, page.clone())?;
+            }
+        }
+        RoutePolicy::Hash { keys, partitions } => {
+            for (part, piece) in hash_partition(page, keys, *partitions)
+                .into_iter()
+                .enumerate()
+            {
+                if !piece.is_empty() {
+                    deliver(part, Arc::new(piece))?;
+                }
+            }
+        }
+        RoutePolicy::RoundRobin { .. } => {
+            let sink = *rr_next % sinks.max(1);
+            *rr_next += 1;
+            deliver(sink, page.clone())?;
+        }
+    }
+    Ok(())
+}
+
+/// Aggregate transfer statistics of a registry (all edges).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExchangeStats {
+    /// Data pages that entered exchange buffers.
+    pub pages: u64,
+    /// Bytes that entered exchange buffers.
+    pub bytes: u64,
+    /// Consumer-side elastic capacity growths across all buffers.
+    pub grow_events: u64,
+    /// Largest bounded buffer capacity reached, in pages (0 when every
+    /// buffer ran unbounded, e.g. the serial in-process executor).
+    pub max_capacity: usize,
+}
+
+struct Edge {
+    /// One queue per consumer task.
+    queues: Vec<Arc<ElasticQueue>>,
+    policy: RoutePolicy,
+}
+
+/// Wires stage output buffers to consumer-task inputs for one query.
+pub struct ExchangeRegistry {
+    limits: ExchangeLimits,
+    nic: Arc<NicModel>,
+    edges: Mutex<HashMap<u32, Arc<Edge>>>,
+    poison: Mutex<Option<AccordionError>>,
+}
+
+impl ExchangeRegistry {
+    /// A registry with the given buffer limits and network model.
+    pub fn new(network: &NetworkConfig) -> Self {
+        ExchangeRegistry {
+            limits: ExchangeLimits {
+                initial_pages: network.initial_buffer_pages.max(1),
+                max_pages: network.max_buffer_pages,
+            },
+            nic: Arc::new(NicModel::new(network)),
+            edges: Mutex::new(HashMap::new()),
+            poison: Mutex::new(None),
+        }
+    }
+
+    /// A registry for serial in-process execution: unbounded buffers (a
+    /// whole stage completes before its consumer starts, so bounded pushes
+    /// would self-deadlock) and a free network.
+    pub fn in_process() -> Self {
+        ExchangeRegistry {
+            limits: ExchangeLimits::unbounded(),
+            nic: Arc::new(NicModel::unlimited()),
+            edges: Mutex::new(HashMap::new()),
+            poison: Mutex::new(None),
+        }
+    }
+
+    /// Registers the output edge of `stage`: `producers` writer tasks
+    /// routing by `policy` into one queue per consumer task. A
+    /// multi-partition policy must match the consumer count one-to-one or
+    /// rows would be silently dropped or duplicated.
+    pub fn register(
+        &self,
+        stage: u32,
+        producers: u32,
+        policy: RoutePolicy,
+        consumers: u32,
+    ) -> Result<()> {
+        let partitions = policy.partition_count();
+        if partitions > 1 && partitions != consumers {
+            return Err(AccordionError::Execution(format!(
+                "stage {stage} routes {partitions} partitions to {consumers} consumer tasks"
+            )));
+        }
+        let queues: Vec<Arc<ElasticQueue>> = (0..consumers.max(1))
+            .map(|_| Arc::new(ElasticQueue::new(self.limits, producers)))
+            .collect();
+        let mut edges = self.edges.lock();
+        if edges.contains_key(&stage) {
+            return Err(AccordionError::Internal(format!(
+                "stage {stage} exchange registered twice"
+            )));
+        }
+        // Poison check and insert happen under the edges lock: a concurrent
+        // poison() either sets the flag before this check (queues poisoned
+        // here) or blocks on the edges lock and poisons them in its sweep —
+        // an edge registered mid-failure can never slip through clean.
+        // (poison() never holds its flag lock while taking the edges lock,
+        // so this nesting cannot deadlock.)
+        if let Some(e) = self.poison.lock().as_ref() {
+            for q in &queues {
+                q.poison(e.clone());
+            }
+        }
+        edges.insert(stage, Arc::new(Edge { queues, policy }));
+        Ok(())
+    }
+
+    fn edge(&self, stage: u32) -> Result<Arc<Edge>> {
+        self.edges.lock().get(&stage).cloned().ok_or_else(|| {
+            AccordionError::Execution(format!("stage {stage} has no registered exchange"))
+        })
+    }
+
+    /// Writer endpoint for producer task `task` of `stage`. `gate` is the
+    /// scheduler's compute-slot semaphore, yielded while blocked.
+    pub fn writer(
+        &self,
+        stage: u32,
+        task: u32,
+        gate: Option<Arc<Semaphore>>,
+    ) -> Result<Box<dyn ExchangeWriter>> {
+        let edge = self.edge(stage)?;
+        Ok(Box::new(EdgeWriter {
+            queues: edge.queues.clone(),
+            policy: edge.policy.clone(),
+            // Stagger round-robin starts by producer task so the stage's
+            // combined output spreads across consumers even when every task
+            // emits few pages.
+            rr_next: task as usize,
+            nic: self.nic.clone(),
+            gate,
+            finished: false,
+        }))
+    }
+
+    /// Reader endpoint for consumer task `consumer` of `stage`'s output.
+    pub fn reader(
+        &self,
+        stage: u32,
+        consumer: u32,
+        gate: Option<Arc<Semaphore>>,
+    ) -> Result<Box<dyn ExchangeReader>> {
+        let edge = self.edge(stage)?;
+        let queue = edge.queues.get(consumer as usize).cloned().ok_or_else(|| {
+            AccordionError::Execution(format!(
+                "stage {stage} has {} consumer queues, task {consumer} requested",
+                edge.queues.len()
+            ))
+        })?;
+        Ok(Box::new(EdgeReader { queue, gate }))
+    }
+
+    /// Fails every buffer of every edge with `err` (first poison wins),
+    /// unwinding all tasks blocked on — or about to touch — an exchange.
+    pub fn poison(&self, err: AccordionError) {
+        {
+            let mut p = self.poison.lock();
+            if p.is_none() {
+                *p = Some(err.clone());
+            }
+        }
+        for edge in self.edges.lock().values() {
+            for q in &edge.queues {
+                q.poison(err.clone());
+            }
+        }
+    }
+
+    /// The first error this registry was poisoned with, if any.
+    pub fn poison_error(&self) -> Option<AccordionError> {
+        self.poison.lock().clone()
+    }
+
+    /// Aggregate transfer statistics across all edges.
+    pub fn stats(&self) -> ExchangeStats {
+        let mut s = ExchangeStats::default();
+        for edge in self.edges.lock().values() {
+            for q in &edge.queues {
+                s.pages += q.pages_in();
+                s.bytes += q.bytes_in();
+                s.grow_events += q.grow_events();
+                let cap = q.capacity();
+                // Effectively-unbounded buffers (serial in-process mode)
+                // would make "largest capacity reached" meaningless.
+                if cap != usize::MAX {
+                    s.max_capacity = s.max_capacity.max(cap);
+                }
+            }
+        }
+        s
+    }
+}
+
+/// Routes one producer task's pages into the edge's consumer queues.
+struct EdgeWriter {
+    queues: Vec<Arc<ElasticQueue>>,
+    policy: RoutePolicy,
+    rr_next: usize,
+    nic: Arc<NicModel>,
+    gate: Option<Arc<Semaphore>>,
+    finished: bool,
+}
+
+impl EdgeWriter {
+    fn finish(&mut self, reason: EndReason) {
+        if !self.finished {
+            self.finished = true;
+            for q in &self.queues {
+                q.writer_finished(reason);
+            }
+        }
+    }
+}
+
+impl ExchangeWriter for EdgeWriter {
+    fn push(&mut self, page: Page) -> Result<()> {
+        let page = match page {
+            Page::End(e) => {
+                self.finish(e.reason);
+                return Ok(());
+            }
+            Page::Data(p) => p,
+        };
+        if self.finished {
+            return Err(AccordionError::Internal(
+                "exchange writer pushed after its end page".into(),
+            ));
+        }
+        let queues = &self.queues;
+        let nic = &self.nic;
+        let gate = self.gate.as_deref();
+        // The NIC is charged per delivered copy — a broadcast to N consumers
+        // puts N pages on the simulated fabric, matching ExchangeStats — but
+        // only for live destinations: a closed queue (its consumer stopped
+        // pulling) costs nothing and the copy is simply not sent.
+        route_page(
+            &page,
+            &self.policy,
+            &mut self.rr_next,
+            queues.len(),
+            &mut |sink, piece| {
+                let q = &queues[sink];
+                if q.is_closed() {
+                    return Ok(());
+                }
+                nic.charge(piece.byte_size());
+                q.push(piece, gate)
+            },
+        )
+    }
+}
+
+impl Drop for EdgeWriter {
+    /// Safety net: a writer dropped without an end page (task error or bug)
+    /// must not leave consumers waiting forever. Errors additionally poison
+    /// the registry, which overrides this graceful close.
+    fn drop(&mut self) {
+        self.finish(EndReason::UpstreamFinished);
+    }
+}
+
+struct EdgeReader {
+    queue: Arc<ElasticQueue>,
+    gate: Option<Arc<Semaphore>>,
+}
+
+impl ExchangeReader for EdgeReader {
+    fn pull(&mut self) -> Result<Page> {
+        self.queue.pull(self.gate.as_deref())
+    }
+}
+
+impl Drop for EdgeReader {
+    /// A reader dropped before draining (LIMIT satisfied, task unwinding)
+    /// closes its buffer, so producers blocked on it run out instead of
+    /// waiting forever — the consumer-to-producer direction of the paper's
+    /// end-page shutdown protocol (Fig 13).
+    fn drop(&mut self) {
+        self.queue.close_consumer();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accordion_data::column::Column;
+    use accordion_data::page::DataPage;
+
+    fn registry() -> ExchangeRegistry {
+        ExchangeRegistry::in_process()
+    }
+
+    fn page(keys: Vec<i64>) -> Page {
+        Page::data(DataPage::new(vec![Column::from_i64(keys)]))
+    }
+
+    fn drain(reader: &mut dyn ExchangeReader) -> Vec<i64> {
+        let mut out = Vec::new();
+        loop {
+            match reader.pull().unwrap() {
+                Page::End(_) => return out,
+                Page::Data(p) => {
+                    out.extend(p.column(0).as_i64().unwrap());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_merges_all_producers() {
+        let r = registry();
+        r.register(1, 2, RoutePolicy::Single, 1).unwrap();
+        let mut w0 = r.writer(1, 0, None).unwrap();
+        let mut w1 = r.writer(1, 1, None).unwrap();
+        w0.push(page(vec![1, 2])).unwrap();
+        w1.push(page(vec![3])).unwrap();
+        w0.push(Page::end(EndReason::ScanExhausted)).unwrap();
+        w1.push(Page::end(EndReason::ScanExhausted)).unwrap();
+        let mut reader = r.reader(1, 0, None).unwrap();
+        let mut got = drain(reader.as_mut());
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn single_partition_broadcasts_to_every_consumer() {
+        let r = registry();
+        r.register(1, 1, RoutePolicy::Single, 3).unwrap();
+        let mut w = r.writer(1, 0, None).unwrap();
+        w.push(page(vec![7, 8])).unwrap();
+        w.push(Page::end(EndReason::UpstreamFinished)).unwrap();
+        for consumer in 0..3 {
+            let mut reader = r.reader(1, consumer, None).unwrap();
+            assert_eq!(drain(reader.as_mut()), vec![7, 8]);
+        }
+    }
+
+    #[test]
+    fn hash_routing_is_deterministic_and_complete() {
+        let r = registry();
+        r.register(
+            1,
+            1,
+            RoutePolicy::Hash {
+                keys: vec![0],
+                partitions: 2,
+            },
+            2,
+        )
+        .unwrap();
+        let mut w = r.writer(1, 0, None).unwrap();
+        w.push(page((0..100).collect())).unwrap();
+        w.push(Page::end(EndReason::UpstreamFinished)).unwrap();
+        let mut all = Vec::new();
+        let mut per_queue = Vec::new();
+        for consumer in 0..2 {
+            let mut reader = r.reader(1, consumer, None).unwrap();
+            let got = drain(reader.as_mut());
+            per_queue.push(got.len());
+            all.extend(got);
+        }
+        all.sort_unstable();
+        assert_eq!(
+            all,
+            (0..100).collect::<Vec<_>>(),
+            "no row lost or duplicated"
+        );
+        assert!(per_queue.iter().all(|&n| n > 0), "both partitions used");
+    }
+
+    #[test]
+    fn round_robin_deals_pages() {
+        let r = registry();
+        r.register(1, 1, RoutePolicy::RoundRobin { partitions: 2 }, 2)
+            .unwrap();
+        let mut w = r.writer(1, 0, None).unwrap();
+        w.push(page(vec![1])).unwrap();
+        w.push(page(vec![2])).unwrap();
+        w.push(page(vec![3])).unwrap();
+        w.push(Page::end(EndReason::UpstreamFinished)).unwrap();
+        let mut r0 = r.reader(1, 0, None).unwrap();
+        let mut r1 = r.reader(1, 1, None).unwrap();
+        assert_eq!(drain(r0.as_mut()), vec![1, 3]);
+        assert_eq!(drain(r1.as_mut()), vec![2]);
+    }
+
+    #[test]
+    fn round_robin_staggers_across_producer_tasks() {
+        // Two producers, one page each: without per-task staggering both
+        // pages would land on queue 0.
+        let r = registry();
+        r.register(1, 2, RoutePolicy::RoundRobin { partitions: 2 }, 2)
+            .unwrap();
+        let mut w0 = r.writer(1, 0, None).unwrap();
+        let mut w1 = r.writer(1, 1, None).unwrap();
+        w0.push(page(vec![1])).unwrap();
+        w1.push(page(vec![2])).unwrap();
+        w0.push(Page::end(EndReason::UpstreamFinished)).unwrap();
+        w1.push(Page::end(EndReason::UpstreamFinished)).unwrap();
+        let mut r0 = r.reader(1, 0, None).unwrap();
+        let mut r1 = r.reader(1, 1, None).unwrap();
+        assert_eq!(drain(r0.as_mut()), vec![1]);
+        assert_eq!(drain(r1.as_mut()), vec![2]);
+    }
+
+    #[test]
+    fn broadcast_charges_stats_per_copy() {
+        let r = registry();
+        r.register(1, 1, RoutePolicy::Single, 3).unwrap();
+        let mut w = r.writer(1, 0, None).unwrap();
+        w.push(page(vec![1, 2])).unwrap();
+        w.push(Page::end(EndReason::UpstreamFinished)).unwrap();
+        let s = r.stats();
+        assert_eq!(s.pages, 3, "one copy per consumer");
+        assert_eq!(
+            s.max_capacity, 0,
+            "unbounded in-process buffers report no bounded capacity"
+        );
+    }
+
+    #[test]
+    fn partition_consumer_mismatch_rejected() {
+        let r = registry();
+        let err = r.register(
+            1,
+            1,
+            RoutePolicy::Hash {
+                keys: vec![0],
+                partitions: 3,
+            },
+            2,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn dropped_writer_closes_edge() {
+        let r = registry();
+        r.register(1, 1, RoutePolicy::Single, 1).unwrap();
+        {
+            let mut w = r.writer(1, 0, None).unwrap();
+            w.push(page(vec![5])).unwrap();
+            // No end page: the drop guard must finish the edge.
+        }
+        let mut reader = r.reader(1, 0, None).unwrap();
+        assert_eq!(drain(reader.as_mut()), vec![5]);
+    }
+
+    #[test]
+    fn poison_fails_existing_and_future_edges() {
+        let r = registry();
+        r.register(1, 1, RoutePolicy::Single, 1).unwrap();
+        r.poison(AccordionError::Execution("boom".into()));
+        let mut reader = r.reader(1, 0, None).unwrap();
+        assert!(reader.pull().is_err());
+        r.register(2, 1, RoutePolicy::Single, 1).unwrap();
+        let mut w = r.writer(2, 0, None).unwrap();
+        assert!(w.push(page(vec![1])).is_err());
+        assert!(r.poison_error().is_some());
+    }
+
+    #[test]
+    fn stats_count_transfers() {
+        let r = registry();
+        r.register(1, 1, RoutePolicy::Single, 1).unwrap();
+        let mut w = r.writer(1, 0, None).unwrap();
+        w.push(page(vec![1, 2, 3])).unwrap();
+        w.push(Page::end(EndReason::UpstreamFinished)).unwrap();
+        let s = r.stats();
+        assert_eq!(s.pages, 1);
+        assert!(s.bytes > 0);
+    }
+}

@@ -1,1 +1,40 @@
-//! placeholder — implemented later in the build
+//! Simulated data-plane network: the streaming shuffle exchange.
+//!
+//! This crate is the push/pull boundary between concurrently running tasks
+//! — the decoupling the paper's intra-query elasticity is built on. Stages
+//! no longer hand fully materialized page maps to their consumers; data
+//! streams page-by-page through exchange endpoints:
+//!
+//! * [`exchange`] — the [`ExchangeWriter`]/[`ExchangeReader`] traits
+//!   (page-granular, bounded, blocking, with `Page::End` as the in-band
+//!   termination signal) and the [`ExchangeRegistry`] that wires each
+//!   stage's output to its consumer tasks under a [`RoutePolicy`]
+//!   (gather/broadcast, hash, round-robin).
+//! * [`buffer`] — the paper's elastic buffers (§4.2.2): per-(task,
+//!   partition) [`ElasticQueue`]s that start at **one page** and grow on
+//!   consumer-side demand up to the `NetworkConfig` limit, blocking
+//!   producers for backpressure. Waits yield the scheduler's compute-slot
+//!   semaphore, keeping bounded buffers deadlock-free on a fixed pool.
+//! * [`nic`] — the token-bucket [`NicModel`] charging every page transfer
+//!   against `NetworkConfig`'s bandwidth cap and link latency.
+//!
+//! Error handling is cooperative: the scheduler poisons the registry on the
+//! first task failure, which wakes and fails every endpoint so sibling
+//! tasks unwind with the original error.
+//!
+//! [`ExchangeWriter`]: exchange::ExchangeWriter
+//! [`ExchangeReader`]: exchange::ExchangeReader
+//! [`ExchangeRegistry`]: exchange::ExchangeRegistry
+//! [`RoutePolicy`]: exchange::RoutePolicy
+//! [`ElasticQueue`]: buffer::ElasticQueue
+//! [`NicModel`]: nic::NicModel
+
+pub mod buffer;
+pub mod exchange;
+pub mod nic;
+
+pub use buffer::{ElasticQueue, ExchangeLimits};
+pub use exchange::{
+    route_page, ExchangeReader, ExchangeRegistry, ExchangeStats, ExchangeWriter, RoutePolicy,
+};
+pub use nic::{NicModel, TokenBucket};

@@ -1,13 +1,16 @@
 //! End-to-end quickstart: register a table, build a query, show the plan at
-//! every layer (logical → physical → stages → pipelines) and execute it.
+//! every layer (logical → physical → stages → pipelines) and execute it
+//! concurrently with the cluster scheduler — stages stream pages to each
+//! other through elastic exchange buffers while they run.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
+use accordion::cluster::QueryExecutor;
 use accordion::data::schema::{Field, Schema};
 use accordion::data::types::{DataType, Value};
-use accordion::exec::{execute_tree, ExecOptions};
+use accordion::exec::ExecOptions;
 use accordion::expr::agg::AggKind;
 use accordion::expr::scalar::Expr;
 use accordion::plan::fragment::StageTree;
@@ -64,7 +67,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let result = execute_tree(&catalog, &tree, &ExecOptions::default())?;
+    // All stages run concurrently on the worker pool; pages stream between
+    // tasks through elastic exchange buffers (1 page each, growing on
+    // consumer-side demand up to the NetworkConfig limit).
+    let executor = QueryExecutor::new(ExecOptions::default());
+    let result = executor.execute_tree(&catalog, &tree)?;
     println!("\n=== result ({} rows) ===", result.row_count());
     let names: Vec<&str> = result
         .schema
@@ -77,5 +84,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
         println!("{}", cells.join("\t"));
     }
+
+    let stats = result.stats();
+    println!("\n=== runtime stats ===");
+    println!(
+        "scan rows: {}  partial-agg rows: {}  exchange pages: {}  \
+         exchange bytes: {}  buffer growths: {}",
+        stats.rows_produced("TableScan"),
+        stats.rows_produced("PartialAggregate"),
+        stats.exchange.pages,
+        stats.exchange.bytes,
+        stats.exchange.grow_events,
+    );
     Ok(())
 }

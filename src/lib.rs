@@ -9,9 +9,11 @@
 //! let _ = (Catalog::new(), LogicalPlanBuilder::from_plan);
 //! ```
 
+pub use accordion_cluster as cluster;
 pub use accordion_common as common;
 pub use accordion_data as data;
 pub use accordion_exec as exec;
 pub use accordion_expr as expr;
+pub use accordion_net as net;
 pub use accordion_plan as plan;
 pub use accordion_storage as storage;
