@@ -1,0 +1,429 @@
+//! Intra-query runtime elasticity: the re-parallelization controller
+//! (paper §5, Fig 13).
+//!
+//! The headline mechanism of the paper: a running query's Source-stage
+//! degree of parallelism is retuned **between splits** instead of
+//! restarting the query. Three pieces cooperate:
+//!
+//! 1. **Runtime info collection** — the controller polls a
+//!    [`RuntimeCollector`], which samples each elastic stage's live scan
+//!    throughput into a per-stage `TimeSeries` (paper Fig 18) while the
+//!    query runs.
+//! 2. **The what-if predictor** ([`WhatIfPredictor`], §5.2) — estimates the
+//!    remaining completion time under a candidate DOP as
+//!    `T_remain(d) = V_remain / (R_consume / d_now · d)`: the unclaimed
+//!    split volume over the measured per-task consume rate scaled to `d`
+//!    tasks. [`WhatIfPredictor::choose_dop`] picks the **smallest** DOP
+//!    within the stage's [`DopBounds`] whose prediction meets the deadline
+//!    (don't pay for parallelism the deadline doesn't need), or the largest
+//!    when none does.
+//! 3. **The re-parallelization mechanism** — each elastic stage's scan
+//!    tasks claim splits from a shared [`SplitQueue`] whose pause threshold
+//!    makes claims block at the controller's decision boundary, so a retune
+//!    always lands between splits, never mid-split.
+//!
+//! ## The EndSignal handshake (Fig 13)
+//!
+//! *Shrinking*: the controller retires task slots on the split queue; a
+//! retired task observes retirement at its next claim, finishes its current
+//! split, and its scan emits `Page::End(EndSignal)` — the driver forwards
+//! it through the task's `ExchangeWriter`, closing that producer's
+//! contribution in-band. Partial-operator state is safe to abandon this way
+//! because partial aggregates/top-Ns are reconstructible unions: whatever
+//! the retired task already pushed merges downstream exactly like the
+//! output of a completed task (paper §4.1).
+//!
+//! *Growing*: the controller re-registers the stage's output edge at the
+//! larger producer count (`ExchangeRegistry::add_producers`) **before**
+//! spawning the new task threads on the scheduler's `worker_threads` slot
+//! pool; the new tasks then drain the same split queue. Hash partitioning
+//! is DOP-stable — routing depends only on the consumer count, which never
+//! changes — so no in-flight page needs repartitioning.
+//!
+//! The race between "last old producer finishes" and "new producers join"
+//! is closed by the **writer lease**: elastic edges are registered with one
+//! extra producer slot (`register_exchanges_leased`) that the controller
+//! holds, so consumers cannot see the edge's end page while a retune is
+//! still possible. The lease is released once the stage's split queue is
+//! exhausted — or unconditionally when the controller unwinds, because
+//! [`StageControl`] releases its queue and lease on drop (no decision can
+//! strand a blocked claimant).
+//!
+//! [`RuntimeCollector`]: accordion_exec::metrics::RuntimeCollector
+//! [`SplitQueue`]: accordion_exec::splits::SplitQueue
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use accordion_common::config::{ElasticityConfig, ElasticityMode};
+use accordion_common::Result;
+use accordion_data::page::{EndReason, Page};
+use accordion_exec::metrics::{QueryMetrics, RetuneEvent, RuntimeCollector};
+use accordion_exec::splits::SplitQueue;
+use accordion_net::{ExchangeRegistry, ExchangeWriter};
+use accordion_plan::fragment::DopBounds;
+
+/// Polls to wait for a first usable rate sample before an `Auto` decision
+/// falls back to assuming zero throughput (which predicts infinite
+/// remaining time and therefore the maximum DOP).
+const MAX_RATE_DEFERS: u32 = 256;
+
+/// The §5.2 what-if predictor: completion-time estimates under candidate
+/// DOPs, from live runtime info.
+#[derive(Debug, Clone, Copy)]
+pub struct WhatIfPredictor;
+
+/// One candidate evaluation of the predictor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WhatIfChoice {
+    pub dop: u32,
+    /// Predicted remaining completion time at `dop`, seconds
+    /// (`f64::INFINITY` when no throughput has been observed yet).
+    pub predicted_secs: f64,
+}
+
+impl WhatIfPredictor {
+    /// `T_remain = V_remain / (R_per_task · dop)`: `remaining_rows` of
+    /// unclaimed split volume consumed by `dop` tasks each sustaining
+    /// `per_task_rate` rows/second.
+    pub fn predict_secs(remaining_rows: u64, per_task_rate: f64, dop: u32) -> f64 {
+        if remaining_rows == 0 {
+            return 0.0;
+        }
+        let combined = per_task_rate * f64::from(dop.max(1));
+        if combined <= 0.0 {
+            return f64::INFINITY;
+        }
+        remaining_rows as f64 / combined
+    }
+
+    /// Picks the smallest DOP within `bounds` whose predicted completion
+    /// time meets `deadline` — scaling the stage-level `measured_rate`
+    /// (observed at `current_dop` tasks) linearly per task, the paper's
+    /// §5.2 model. Falls back to `bounds.max` when no candidate meets the
+    /// deadline (including when nothing has been measured yet). Computed in
+    /// closed form (`required = ⌈V_remain / (R_per_task · deadline)⌉`) so
+    /// arbitrarily wide bounds cost nothing while the stage's claimants
+    /// wait at the decision boundary.
+    pub fn choose_dop(
+        remaining_rows: u64,
+        measured_rate: f64,
+        current_dop: u32,
+        bounds: DopBounds,
+        deadline: Duration,
+    ) -> WhatIfChoice {
+        let per_task = measured_rate / f64::from(current_dop.max(1));
+        if remaining_rows == 0 {
+            return WhatIfChoice {
+                dop: bounds.min,
+                predicted_secs: 0.0,
+            };
+        }
+        let deadline_secs = deadline.as_secs_f64();
+        if per_task <= 0.0 || deadline_secs <= 0.0 {
+            // Nothing measured yet, or an unmeetable deadline: every
+            // prediction misses, so take the largest DOP in bounds.
+            return WhatIfChoice {
+                dop: bounds.max,
+                predicted_secs: Self::predict_secs(remaining_rows, per_task, bounds.max),
+            };
+        }
+        let required = (remaining_rows as f64 / (per_task * deadline_secs)).ceil();
+        let dop = if required >= f64::from(bounds.max) {
+            bounds.max
+        } else {
+            bounds.clamp(required as u32)
+        };
+        WhatIfChoice {
+            dop,
+            predicted_secs: Self::predict_secs(remaining_rows, per_task, dop),
+        }
+    }
+}
+
+/// One elastic Source stage under controller management.
+pub struct StageControl {
+    pub stage: u32,
+    bounds: DopBounds,
+    queue: Arc<SplitQueue>,
+    /// Active task slots (slot ids are never reused); `len()` is the
+    /// stage's current DOP.
+    active: Vec<u32>,
+    /// Next fresh slot id for grown tasks.
+    next_slot: u32,
+    /// The writer lease holding the stage's output edge open (see module
+    /// docs). `None` once released.
+    lease: Option<Box<dyn ExchangeWriter>>,
+    done: bool,
+    defers: u32,
+}
+
+impl StageControl {
+    pub fn new(
+        stage: u32,
+        bounds: DopBounds,
+        initial_dop: u32,
+        queue: Arc<SplitQueue>,
+        lease: Box<dyn ExchangeWriter>,
+    ) -> Self {
+        let initial_dop = initial_dop.max(1);
+        StageControl {
+            stage,
+            bounds,
+            queue,
+            active: (0..initial_dop).collect(),
+            next_slot: initial_dop,
+            lease: Some(lease),
+            done: false,
+            defers: 0,
+        }
+    }
+
+    fn dop(&self) -> u32 {
+        self.active.len() as u32
+    }
+
+    /// Detaches the controller from this stage: no claim ever blocks again
+    /// and the writer lease is released, letting the output edge end once
+    /// the remaining tasks finish. Idempotent.
+    fn finish(&mut self) {
+        self.queue.release();
+        if let Some(mut lease) = self.lease.take() {
+            // An explicit end page (rather than the drop guard) so the
+            // lease's contribution closes with a deliberate reason.
+            let _ = lease.push(Page::end(EndReason::UpstreamFinished));
+        }
+        self.done = true;
+    }
+}
+
+impl Drop for StageControl {
+    /// Safety net: a controller unwinding for any reason must never leave
+    /// claimants parked at a pause boundary or consumers waiting on the
+    /// leased edge. (The lease writer's own drop guard closes its slot.)
+    fn drop(&mut self) {
+        self.queue.release();
+    }
+}
+
+/// The runtime elasticity controller of one query execution: owns the
+/// elastic stages' split queues, writer leases and runtime info collector,
+/// and applies DOP retunes at between-splits decision boundaries.
+pub struct ElasticityController {
+    config: ElasticityConfig,
+    metrics: Arc<QueryMetrics>,
+    collector: RuntimeCollector,
+    stages: Vec<StageControl>,
+}
+
+impl ElasticityController {
+    /// Builds the controller and arms every stage's first decision
+    /// boundary (`decide_every_splits` claims in). Call before any task
+    /// starts claiming.
+    pub fn new(
+        config: ElasticityConfig,
+        metrics: Arc<QueryMetrics>,
+        stages: Vec<StageControl>,
+    ) -> Self {
+        let ids: Vec<u32> = stages.iter().map(|s| s.stage).collect();
+        let collector = RuntimeCollector::new(metrics.clone(), &ids);
+        let first_boundary = config.decide_every_splits.max(1);
+        for st in &stages {
+            st.queue.set_pause_after(Some(first_boundary));
+        }
+        ElasticityController {
+            config,
+            metrics,
+            collector,
+            stages,
+        }
+    }
+
+    /// Runs the control loop until every elastic stage's split queue is
+    /// exhausted (or the registry is poisoned): samples runtime info each
+    /// poll, and at each due decision boundary consults the schedule or the
+    /// what-if predictor and applies the retune. `spawn` launches one new
+    /// task `(stage, slot)` on the scheduler's pool — it is only called
+    /// after the stage's edge has been re-registered at the larger DOP.
+    pub fn run(
+        mut self,
+        registry: &ExchangeRegistry,
+        spawn: &mut dyn FnMut(u32, u32) -> Result<()>,
+    ) {
+        'control: loop {
+            if registry.poison_error().is_some() {
+                break;
+            }
+            self.collector.sample();
+            let mut pending = false;
+            for i in 0..self.stages.len() {
+                if self.stages[i].done {
+                    continue;
+                }
+                // A stage is complete when its split queue is exhausted —
+                // or when every real producer already finished (e.g. each
+                // task's local LIMIT was satisfied mid-scan and the task
+                // exited): only the controller's lease slot remains, so
+                // nothing will ever claim the leftover splits.
+                let tasks_done = registry
+                    .producers_remaining(self.stages[i].stage)
+                    .map(|writers| writers <= 1)
+                    .unwrap_or(true);
+                if self.stages[i].queue.remaining_splits() == 0 || tasks_done {
+                    self.stages[i].finish();
+                    continue;
+                }
+                pending = true;
+                if self.stages[i].queue.decision_due() {
+                    if let Err(e) = self.decide(i, registry, spawn) {
+                        registry.poison(e);
+                        break 'control;
+                    }
+                }
+            }
+            if !pending {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(self.config.poll_interval_us.max(1)));
+        }
+        for st in &mut self.stages {
+            st.finish();
+        }
+    }
+
+    /// One decision for stage `i`, applied at its paused split boundary.
+    fn decide(
+        &mut self,
+        i: usize,
+        registry: &ExchangeRegistry,
+        spawn: &mut dyn FnMut(u32, u32) -> Result<()>,
+    ) -> Result<()> {
+        let (stage, bounds, dop) = {
+            let st = &self.stages[i];
+            (st.stage, st.bounds, st.dop())
+        };
+        let (target, predicted_secs) = match self.config.mode {
+            ElasticityMode::Off => return Ok(()),
+            ElasticityMode::Forced { target_dop } => (bounds.clamp(target_dop), 0.0),
+            ElasticityMode::ForcedGrow => (bounds.clamp(dop.saturating_mul(2)), 0.0),
+            ElasticityMode::ForcedShrink => (bounds.min, 0.0),
+            ElasticityMode::Auto { deadline_ms } => {
+                // The predictor reads a fresh live sample taken at the
+                // decision boundary. Before any rows have flowed there is
+                // nothing to extrapolate from: defer the decision a bounded
+                // number of polls (the already-claimed splits keep scanning
+                // meanwhile, so a sample appears quickly on any non-empty
+                // table).
+                let rate = self.collector.sample_stage(stage);
+                if rate <= 0.0 && self.stages[i].defers < MAX_RATE_DEFERS {
+                    self.stages[i].defers += 1;
+                    return Ok(());
+                }
+                let choice = WhatIfPredictor::choose_dop(
+                    self.stages[i].queue.remaining_rows(),
+                    rate,
+                    dop,
+                    bounds,
+                    Duration::from_millis(deadline_ms),
+                );
+                (choice.dop, choice.predicted_secs)
+            }
+        };
+
+        if target > dop {
+            // Grow: extend the edge's producer set first, then spawn — a
+            // new task must never push into an edge that does not yet
+            // account for its writer.
+            let added = target - dop;
+            registry.add_producers(stage, added)?;
+            for _ in 0..added {
+                let slot = self.stages[i].next_slot;
+                self.stages[i].next_slot += 1;
+                self.stages[i].active.push(slot);
+                spawn(stage, slot)?;
+            }
+        } else if target < dop {
+            // Shrink: retire the most recently added slots; each retired
+            // task ends with `Page::End(EndSignal)` at its next claim.
+            for _ in 0..(dop - target) {
+                if let Some(slot) = self.stages[i].active.pop() {
+                    self.stages[i].queue.retire(slot);
+                }
+            }
+        }
+        if target != dop {
+            self.metrics.record_retune(RetuneEvent {
+                stage,
+                from_dop: dop,
+                to_dop: target,
+                splits_claimed: self.stages[i].queue.claimed(),
+                predicted_secs,
+            });
+            // New task set, new measurement era: the next decision must not
+            // divide a rate observed at the old DOP by the new one.
+            self.collector.reset_baseline(stage);
+        }
+
+        // Arm the next boundary — or, for one-shot forced schedules, go
+        // passive: release the queue so claims never block again.
+        match self.config.mode {
+            ElasticityMode::Auto { .. } => {
+                // Exponential cadence: boundaries at ~1, 2, 4, 8… claimed
+                // splits (never closer than `decide_every_splits`). Early
+                // decisions stay early, but total controller overhead is
+                // O(log splits) — pausing the stage at every single claim
+                // would serialize the scan through the poll loop.
+                let claimed = self.stages[i].queue.claimed();
+                let step = self.config.decide_every_splits.max(1).max(claimed);
+                self.stages[i].queue.set_pause_after(Some(claimed + step));
+            }
+            // One-shot forced schedules go passive after their decision.
+            _ => self.stages[i].queue.release(),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bounds(min: u32, max: u32) -> DopBounds {
+        DopBounds::new(min, max)
+    }
+
+    #[test]
+    fn predict_secs_is_volume_over_combined_rate() {
+        // 1000 rows at 100 rows/s/task and 4 tasks → 2.5 s.
+        let t = WhatIfPredictor::predict_secs(1000, 100.0, 4);
+        assert!((t - 2.5).abs() < 1e-9);
+        assert_eq!(WhatIfPredictor::predict_secs(0, 100.0, 4), 0.0);
+        assert_eq!(WhatIfPredictor::predict_secs(10, 0.0, 4), f64::INFINITY);
+    }
+
+    #[test]
+    fn choose_dop_picks_smallest_meeting_deadline() {
+        // 1000 rows remaining, measured 100 rows/s at 2 tasks → 50/s/task.
+        // Deadline 10 s: dop 2 predicts 10 s — the smallest that fits.
+        let c = WhatIfPredictor::choose_dop(1000, 100.0, 2, bounds(1, 8), Duration::from_secs(10));
+        assert_eq!(c.dop, 2);
+        assert!((c.predicted_secs - 10.0).abs() < 1e-9);
+        // Tight deadline 3 s: needs ≥ 1000/(50·3) = 6.67 → dop 7.
+        let c = WhatIfPredictor::choose_dop(1000, 100.0, 2, bounds(1, 8), Duration::from_secs(3));
+        assert_eq!(c.dop, 7);
+        // Impossible deadline: the largest DOP in bounds.
+        let c = WhatIfPredictor::choose_dop(1000, 100.0, 2, bounds(1, 8), Duration::ZERO);
+        assert_eq!(c.dop, 8);
+        // Generous deadline: the smallest.
+        let c = WhatIfPredictor::choose_dop(1000, 100.0, 2, bounds(2, 8), Duration::from_secs(60));
+        assert_eq!(c.dop, 2);
+    }
+
+    #[test]
+    fn choose_dop_without_measurements_maxes_out() {
+        // No throughput observed → every prediction is infinite → largest.
+        let c = WhatIfPredictor::choose_dop(1000, 0.0, 1, bounds(1, 4), Duration::from_secs(60));
+        assert_eq!(c.dop, 4);
+        assert_eq!(c.predicted_secs, f64::INFINITY);
+    }
+}

@@ -13,9 +13,19 @@
 //! runs on one produces the same result set on the other — the invariant
 //! the scheduling-determinism test suite pins down.
 //!
+//! When [`ExecOptions::elasticity`] enables the controller, the [`elastic`]
+//! module adds the paper's headline mechanism on top: eligible Source
+//! stages claim splits from a shared queue, and the
+//! [`ElasticityController`] retunes their degree of parallelism **between
+//! splits** — growing or shrinking the live task set over the streaming
+//! exchange endpoints without losing or duplicating a page.
+//!
 //! [`StageTree`]: accordion_plan::fragment::StageTree
 //! [`TaskContext`]: accordion_exec::driver::TaskContext
+//! [`ExecOptions::elasticity`]: accordion_exec::executor::ExecOptions
 
+pub mod elastic;
 pub mod scheduler;
 
+pub use elastic::{ElasticityController, StageControl, WhatIfChoice, WhatIfPredictor};
 pub use scheduler::QueryExecutor;

@@ -15,30 +15,50 @@
 //! parked (see `accordion_net::buffer`), so a producer stalled behind a
 //! capacity-1 buffer hands its slot to the consumer that will drain it.
 //! This is what makes the pool deadlock-free for any combination of
-//! `worker_threads ≥ 1` and buffer capacity, including one page.
+//! `worker_threads ≥ 1` and buffer capacity, including one page. Tasks the
+//! elasticity controller spawns mid-query join the same pool: a grown
+//! stage competes for the same compute slots, it does not add any.
+//!
+//! ## Runtime elasticity
+//!
+//! When `ExecOptions::elasticity` enables the controller, every
+//! elastic-eligible Source stage (see
+//! `accordion_plan::fragment::PlanFragment::elastic_bounds`) scans through
+//! a shared [`SplitQueue`] instead of a static split assignment, its
+//! output edge carries the controller's writer lease, and an
+//! [`ElasticityController`] thread retunes the stage's DOP between splits
+//! — see `crate::elastic` for the mechanism and the EndSignal handshake.
 //!
 //! ## Error propagation
 //!
 //! The first task failure (operator error or panic) poisons every
 //! registered exchange: all sibling tasks unwind with the original error
 //! the next time they touch an endpoint, the coordinator's result drain
-//! fails fast, and `execute_tree` returns that first error.
+//! fails fast, and `execute_tree` returns that first error. The controller
+//! observes the poison, releases its split queues and leases, and exits —
+//! no claimant stays parked at a decision boundary.
+//!
+//! [`SplitQueue`]: accordion_exec::splits::SplitQueue
+//! [`ElasticityController`]: crate::elastic::ElasticityController
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use accordion_common::sync::{Mutex, Semaphore};
 use accordion_common::{AccordionError, Result};
 use accordion_exec::driver::{run_task, TaskContext};
-use accordion_exec::executor::{drain_result, register_exchanges, ExecOptions, QueryResult};
+use accordion_exec::executor::{drain_result, register_exchanges_leased, ExecOptions, QueryResult};
 use accordion_exec::metrics::QueryMetrics;
+use accordion_exec::splits::{SplitFeed, SplitQueue};
 use accordion_net::{ExchangeReader, ExchangeRegistry, ExchangeWriter};
 use accordion_plan::fragment::StageTree;
 use accordion_plan::logical::LogicalPlan;
 use accordion_plan::optimizer::Optimizer;
 use accordion_plan::pipeline::{split_pipelines, PipelineSpec};
 use accordion_storage::catalog::Catalog;
+
+use crate::elastic::{ElasticityController, StageControl};
 
 /// Everything one task thread needs, assembled before spawning.
 struct TaskSpec {
@@ -48,10 +68,83 @@ struct TaskSpec {
     pipelines: Arc<Vec<PipelineSpec>>,
     inputs: HashMap<u32, Box<dyn ExchangeReader>>,
     output: Box<dyn ExchangeWriter>,
+    /// Elastic stages claim splits from the stage's shared queue.
+    split_feed: Option<SplitFeed>,
+}
+
+/// Per-stage wiring of one elastic Source stage, shared between the task
+/// builder and the controller's grow path.
+struct ElasticWiring {
+    queue: Arc<SplitQueue>,
+    pipelines: Arc<Vec<PipelineSpec>>,
+    parallelism: u32,
+}
+
+/// Shared runtime of one query execution, borrowed by every task thread.
+struct QueryRt<'env> {
+    catalog: &'env Catalog,
+    page_rows: usize,
+    registry: Arc<ExchangeRegistry>,
+    gate: Arc<Semaphore>,
+    metrics: Arc<QueryMetrics>,
+    first_err: Mutex<Option<AccordionError>>,
+}
+
+impl QueryRt<'_> {
+    /// Runs one task to completion on the current thread, recording the
+    /// first failure and poisoning the exchanges on error or panic.
+    fn run_task_spec(&self, spec: TaskSpec) {
+        self.gate.acquire();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let TaskSpec {
+                stage,
+                task,
+                parallelism,
+                pipelines,
+                inputs,
+                output,
+                split_feed,
+            } = spec;
+            let mut ctx = TaskContext::new(
+                self.catalog,
+                stage,
+                task,
+                parallelism,
+                self.page_rows,
+                inputs,
+                output,
+                &pipelines,
+                self.metrics.clone(),
+            );
+            if let Some(feed) = split_feed {
+                ctx.set_split_feed(feed);
+            }
+            run_task(&pipelines, &mut ctx)
+        }));
+        self.gate.release();
+        let err = match outcome {
+            Ok(Ok(())) => None,
+            Ok(Err(e)) => Some(e),
+            Err(panic) => Some(AccordionError::Internal(format!(
+                "task panicked: {}",
+                panic_message(&panic)
+            ))),
+        };
+        if let Some(e) = err {
+            {
+                let mut first = self.first_err.lock();
+                if first.is_none() {
+                    *first = Some(e.clone());
+                }
+            }
+            self.registry.poison(e);
+        }
+    }
 }
 
 /// Multi-threaded executor: concurrent stages, elastic exchanges, simulated
-/// network. The streaming counterpart of `accordion_exec::execute_tree`.
+/// network, and (when enabled) the intra-query re-parallelization
+/// controller. The streaming counterpart of `accordion_exec::execute_tree`.
 #[derive(Debug, Clone, Default)]
 pub struct QueryExecutor {
     opts: ExecOptions,
@@ -70,21 +163,54 @@ impl QueryExecutor {
     /// the worker pool.
     pub fn execute_tree(&self, catalog: &Catalog, tree: &StageTree) -> Result<QueryResult> {
         let registry = Arc::new(ExchangeRegistry::new(&self.opts.network));
-        register_exchanges(&registry, tree)?;
         let gate = Arc::new(Semaphore::new(self.opts.worker_threads.max(1)));
         let metrics = Arc::new(QueryMetrics::new());
+
+        // Elastic Source stages scan through a shared split queue so their
+        // task set can change between splits; their edges get the
+        // controller's writer lease slot.
+        let elastic_cfg = self.opts.elasticity;
+        let mut elastic: HashMap<u32, ElasticWiring> = HashMap::new();
+        if elastic_cfg.enabled() {
+            for f in tree.fragments() {
+                if f.elastic_bounds.is_none() {
+                    continue;
+                }
+                let tables = f.root.scan_tables();
+                let table = tables.first().ok_or_else(|| {
+                    AccordionError::Internal(format!("elastic stage {} has no scan", f.stage))
+                })?;
+                let splits = catalog.get(table)?.splits.splits().to_vec();
+                elastic.insert(
+                    f.stage.0,
+                    ElasticWiring {
+                        queue: Arc::new(SplitQueue::new(splits)),
+                        pipelines: Arc::new(Vec::new()), // filled below
+                        parallelism: f.parallelism.max(1),
+                    },
+                );
+            }
+        }
+        let leased: HashSet<u32> = elastic.keys().copied().collect();
+        register_exchanges_leased(&registry, tree, &leased)?;
 
         // Claim every endpoint up front so wiring errors surface before any
         // thread spawns.
         let mut specs = Vec::new();
         for fragment in tree.fragments() {
             let pipelines = Arc::new(split_pipelines(fragment)?);
+            if let Some(w) = elastic.get_mut(&fragment.stage.0) {
+                w.pipelines = pipelines.clone();
+            }
             for task in 0..fragment.parallelism.max(1) {
                 let mut inputs = HashMap::new();
                 for child in &fragment.child_stages {
                     inputs.insert(child.0, registry.reader(child.0, task, Some(gate.clone()))?);
                 }
                 let output = registry.writer(fragment.stage.0, task, Some(gate.clone()))?;
+                let split_feed = elastic
+                    .get(&fragment.stage.0)
+                    .map(|w| SplitFeed::new(w.queue.clone(), task, Some(gate.clone())));
                 specs.push(TaskSpec {
                     stage: fragment.stage.0,
                     task,
@@ -92,6 +218,7 @@ impl QueryExecutor {
                     pipelines: pipelines.clone(),
                     inputs,
                     output,
+                    split_feed,
                 });
             }
         }
@@ -99,54 +226,76 @@ impl QueryExecutor {
         // worker and only ever waits.
         let result_reader = registry.reader(0, 0, None)?;
 
-        let first_err: Mutex<Option<AccordionError>> = Mutex::new(None);
+        // The controller takes the writer lease on every elastic edge and
+        // arms the first decision boundary — before any task runs.
+        let controller = if elastic.is_empty() {
+            None
+        } else {
+            let mut controls = Vec::new();
+            for (&stage, w) in &elastic {
+                let lease = registry.writer(stage, u32::MAX, None)?;
+                let bounds = tree
+                    .fragment(accordion_common::StageId(stage))?
+                    .elastic_bounds
+                    .expect("elastic wiring only built for bounded stages");
+                controls.push(StageControl::new(
+                    stage,
+                    bounds,
+                    w.parallelism,
+                    w.queue.clone(),
+                    lease,
+                ));
+            }
+            Some(ElasticityController::new(
+                elastic_cfg,
+                metrics.clone(),
+                controls,
+            ))
+        };
+
+        let rt = QueryRt {
+            catalog,
+            page_rows: self.opts.page_rows,
+            registry: registry.clone(),
+            gate: gate.clone(),
+            metrics: metrics.clone(),
+            first_err: Mutex::new(None),
+        };
+        let elastic = &elastic;
+
         let mut pages = Vec::new();
         std::thread::scope(|scope| {
+            let rt = &rt;
             for spec in specs {
-                let (registry, gate, metrics) = (&registry, &gate, &metrics);
-                let first_err = &first_err;
+                scope.spawn(move || rt.run_task_spec(spec));
+            }
+            if let Some(controller) = controller {
+                let (registry, gate) = (registry.clone(), gate.clone());
                 scope.spawn(move || {
-                    gate.acquire();
-                    let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        let TaskSpec {
+                    // Grown tasks join the same scope and slot pool. The
+                    // edge was re-registered at the larger DOP before this
+                    // callback runs (see ElasticityController::decide).
+                    let mut spawn = |stage: u32, slot: u32| -> Result<()> {
+                        let w = elastic.get(&stage).ok_or_else(|| {
+                            AccordionError::Internal(format!("stage {stage} is not elastic"))
+                        })?;
+                        let spec = TaskSpec {
                             stage,
-                            task,
-                            parallelism,
-                            pipelines,
-                            inputs,
-                            output,
-                        } = spec;
-                        let mut ctx = TaskContext::new(
-                            catalog,
-                            stage,
-                            task,
-                            parallelism,
-                            self.opts.page_rows,
-                            inputs,
-                            output,
-                            &pipelines,
-                            metrics.clone(),
-                        );
-                        run_task(&pipelines, &mut ctx)
-                    }));
-                    gate.release();
-                    let err = match outcome {
-                        Ok(Ok(())) => None,
-                        Ok(Err(e)) => Some(e),
-                        Err(panic) => Some(AccordionError::Internal(format!(
-                            "task panicked: {}",
-                            panic_message(&panic)
-                        ))),
+                            task: slot,
+                            parallelism: w.parallelism,
+                            pipelines: w.pipelines.clone(),
+                            inputs: HashMap::new(),
+                            output: registry.writer(stage, slot, Some(gate.clone()))?,
+                            split_feed: Some(SplitFeed::new(
+                                w.queue.clone(),
+                                slot,
+                                Some(gate.clone()),
+                            )),
+                        };
+                        scope.spawn(move || rt.run_task_spec(spec));
+                        Ok(())
                     };
-                    if let Some(e) = err {
-                        {
-                            let mut first = first_err.lock();
-                            if first.is_none() {
-                                *first = Some(e.clone());
-                            }
-                        }
-                        registry.poison(e);
-                    }
+                    controller.run(&registry, &mut spawn);
                 });
             }
             // Drain the root stage's stream while tasks run; on poison the
@@ -154,14 +303,14 @@ impl QueryExecutor {
             match drain_result(result_reader) {
                 Ok(p) => pages = p,
                 Err(e) => {
-                    let mut first = first_err.lock();
+                    let mut first = rt.first_err.lock();
                     if first.is_none() {
                         *first = Some(e);
                     }
                 }
             }
         });
-        if let Some(e) = first_err.into_inner() {
+        if let Some(e) = rt.first_err.into_inner() {
             return Err(e);
         }
         Ok(QueryResult::new(

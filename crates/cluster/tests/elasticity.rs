@@ -1,0 +1,341 @@
+//! Intra-query re-parallelization tests (paper Fig 13, §5.2).
+//!
+//! The core invariant: a mid-query Source-stage DOP change — grow 1→4 or
+//! shrink 4→1, applied between splits by the elasticity controller — must
+//! produce a result **identical** to the static-DOP run, with every split
+//! scanned exactly once (no page loss, no duplication). A second group
+//! exercises the `Auto` mode, where the decision is made by the what-if
+//! predictor reading live `TimeSeries` samples from the runtime info
+//! collector; a third pins down the collector output itself (monotone
+//! samples) and the retune log.
+
+use accordion_cluster::QueryExecutor;
+use accordion_common::config::{ElasticityConfig, NetworkConfig};
+use accordion_common::ElasticityMode;
+use accordion_data::schema::{Field, Schema};
+use accordion_data::types::{DataType, Value};
+use accordion_exec::{execute_tree, ExecOptions, QueryResult};
+use accordion_expr::agg::AggKind;
+use accordion_expr::scalar::Expr;
+use accordion_plan::fragment::StageTree;
+use accordion_plan::optimizer::{Optimizer, OptimizerConfig};
+use accordion_plan::LogicalPlanBuilder;
+use accordion_storage::catalog::Catalog;
+use accordion_storage::table::{PartitioningScheme, TableBuilder};
+
+fn i(v: i64) -> Value {
+    Value::Int64(v)
+}
+fn s(v: &str) -> Value {
+    Value::Utf8(v.to_string())
+}
+
+/// A 64-row fact table over 4 nodes × 2 splits (8 splits — enough decision
+/// boundaries for between-splits retunes) plus a small dimension table.
+fn catalog() -> Catalog {
+    let c = Catalog::new();
+    let schema = Schema::shared(vec![
+        Field::new("region", DataType::Utf8),
+        Field::new("qty", DataType::Int64),
+        Field::new("price", DataType::Float64),
+    ]);
+    let mut b = TableBuilder::new("sales", schema, 3);
+    for n in 0..64i64 {
+        b.push_row(vec![
+            Value::Utf8(format!("region-{}", n % 5)),
+            if n % 11 == 0 { Value::Null } else { i(n % 13) },
+            Value::Float64(0.5 * (n % 7) as f64),
+        ]);
+    }
+    b.register(&c, PartitioningScheme::new(4, 2), 0);
+
+    // 2 nodes × 2 splits: the join's build-side scan — the only elastic
+    // stage of a broadcast join (the probe reads a child exchange) — needs
+    // more than one split to have a between-splits decision boundary.
+    let dim_schema = Schema::shared(vec![
+        Field::new("name", DataType::Utf8),
+        Field::new("bonus", DataType::Int64),
+    ]);
+    let mut b = TableBuilder::new("bonuses", dim_schema, 1);
+    for (name, bonus) in [
+        ("region-0", 10i64),
+        ("region-1", 15),
+        ("region-2", 20),
+        ("region-3", 30),
+        ("region-4", 40),
+    ] {
+        b.push_row(vec![s(name), i(bonus)]);
+    }
+    b.register(&c, PartitioningScheme::new(2, 2), 0);
+    c
+}
+
+/// The golden suite: the same representative query shapes the scheduling
+/// determinism tests pin down.
+fn golden_suite(c: &Catalog) -> Vec<(&'static str, LogicalPlanBuilder)> {
+    let scan = LogicalPlanBuilder::scan(c, "sales").unwrap();
+
+    let filter = {
+        let b = LogicalPlanBuilder::scan(c, "sales").unwrap();
+        let pred = Expr::gt(b.col("qty").unwrap(), Expr::lit_i64(4));
+        b.filter(pred).unwrap()
+    };
+
+    let group_by = {
+        let b = LogicalPlanBuilder::scan(c, "sales").unwrap();
+        let aggs = vec![
+            b.agg(AggKind::Count, "qty", "cnt").unwrap(),
+            b.agg(AggKind::Sum, "qty", "total").unwrap(),
+            b.agg(AggKind::Avg, "price", "mean").unwrap(),
+        ];
+        b.aggregate(&["region"], aggs).unwrap()
+    };
+
+    let top_n = {
+        let b = LogicalPlanBuilder::scan(c, "sales").unwrap();
+        b.top_n(&[("qty", true), ("region", false), ("price", false)], 10)
+            .unwrap()
+    };
+
+    let join = {
+        let sales = LogicalPlanBuilder::scan(c, "sales").unwrap();
+        let bonuses = LogicalPlanBuilder::scan(c, "bonuses").unwrap();
+        sales
+            .join(bonuses, &[("region", "name")])
+            .unwrap()
+            .select(&["region", "qty", "bonus"])
+            .unwrap()
+    };
+
+    vec![
+        ("scan", scan),
+        ("filter", filter),
+        ("group_by", group_by),
+        ("top_n", top_n),
+        ("join", join),
+    ]
+}
+
+fn sorted_rows(result: &QueryResult) -> Vec<Vec<Value>> {
+    let mut rows = result.rows();
+    rows.sort_by(|a, b| {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| *o != std::cmp::Ordering::Equal)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    rows
+}
+
+fn opts(worker_threads: usize, elasticity: ElasticityConfig) -> ExecOptions {
+    ExecOptions::with_page_rows(3)
+        .worker_threads(worker_threads)
+        .network(NetworkConfig::unlimited().with_fixed_buffers(2))
+        .elasticity(elasticity)
+}
+
+fn tree_at(builder: &LogicalPlanBuilder, dop: u32) -> StageTree {
+    let optimizer = Optimizer::new(OptimizerConfig::default().with_parallelism(dop));
+    StageTree::build(optimizer.optimize(&builder.clone().build()).unwrap()).unwrap()
+}
+
+/// Static reference result: the serial in-process executor at DOP 1.
+fn reference(c: &Catalog, builder: &LogicalPlanBuilder) -> (Vec<Vec<Value>>, u64) {
+    let tree = tree_at(builder, 1);
+    let r = execute_tree(c, &tree, &ExecOptions::with_page_rows(3)).unwrap();
+    let scanned = r.stats().rows_produced("TableScan");
+    (sorted_rows(&r), scanned)
+}
+
+/// Asserts the elasticity invariants of one run against the static
+/// reference: identical rows, every split scanned exactly once, the
+/// expected retune applied, and monotone runtime-info samples.
+fn assert_elastic_run(
+    name: &str,
+    result: &QueryResult,
+    reference_rows: &[Vec<Value>],
+    reference_scan_rows: u64,
+    from_dop: u32,
+    to_dop: u32,
+) {
+    assert_eq!(
+        sorted_rows(result),
+        reference_rows,
+        "{name}: {from_dop}→{to_dop} retune changed the result"
+    );
+    let stats = result.stats();
+    assert_eq!(
+        stats.rows_produced("TableScan"),
+        reference_scan_rows,
+        "{name}: page loss or duplication — splits not scanned exactly once"
+    );
+    assert!(
+        stats
+            .retunes
+            .iter()
+            .any(|r| r.from_dop == from_dop && r.to_dop == to_dop),
+        "{name}: no {from_dop}→{to_dop} retune recorded (retunes: {:?})",
+        stats.retunes
+    );
+    assert!(
+        !stats.series.is_empty(),
+        "{name}: no runtime info collected"
+    );
+    for series in &stats.series {
+        assert!(
+            series.points.windows(2).all(|w| w[0].at <= w[1].at),
+            "{name}: stage {} samples are not monotone in time",
+            series.stage
+        );
+    }
+}
+
+#[test]
+fn forced_grow_1_to_4_matches_static_results_across_golden_suite() {
+    let c = catalog();
+    for (name, builder) in golden_suite(&c) {
+        let (ref_rows, ref_scans) = reference(&c, &builder);
+        for worker_threads in [1usize, 4] {
+            let tree = tree_at(&builder, 1);
+            let executor = QueryExecutor::new(opts(worker_threads, ElasticityConfig::forced(4)));
+            let result = executor.execute_tree(&c, &tree).unwrap_or_else(|e| {
+                panic!("{name} failed growing 1→4 at workers={worker_threads}: {e}")
+            });
+            assert_elastic_run(name, &result, &ref_rows, ref_scans, 1, 4);
+        }
+    }
+}
+
+#[test]
+fn forced_shrink_4_to_1_matches_static_results_across_golden_suite() {
+    let c = catalog();
+    for (name, builder) in golden_suite(&c) {
+        let (ref_rows, ref_scans) = reference(&c, &builder);
+        for worker_threads in [1usize, 4] {
+            let tree = tree_at(&builder, 4);
+            let executor = QueryExecutor::new(opts(worker_threads, ElasticityConfig::forced(1)));
+            let result = executor.execute_tree(&c, &tree).unwrap_or_else(|e| {
+                panic!("{name} failed shrinking 4→1 at workers={worker_threads}: {e}")
+            });
+            assert_elastic_run(name, &result, &ref_rows, ref_scans, 4, 1);
+        }
+    }
+}
+
+#[test]
+fn auto_mode_grows_to_bounds_max_under_impossible_deadline() {
+    // Deadline 0: no DOP can meet it, so the what-if predictor — reading
+    // the live TimeSeries sample taken at the decision boundary — picks the
+    // largest DOP in bounds (default 1..=8).
+    let c = catalog();
+    let builder = {
+        let b = LogicalPlanBuilder::scan(&c, "sales").unwrap();
+        let aggs = vec![b.agg(AggKind::Sum, "qty", "total").unwrap()];
+        b.aggregate(&["region"], aggs).unwrap()
+    };
+    let (ref_rows, ref_scans) = reference(&c, &builder);
+    let tree = tree_at(&builder, 1);
+    let executor = QueryExecutor::new(opts(4, ElasticityConfig::auto(0)));
+    let result = executor.execute_tree(&c, &tree).unwrap();
+    assert_elastic_run("auto-grow", &result, &ref_rows, ref_scans, 1, 8);
+    // The predictor-driven decision carries its remaining-time estimate.
+    let retune = result
+        .stats()
+        .retunes
+        .iter()
+        .find(|r| r.to_dop == 8)
+        .unwrap();
+    assert!(retune.predicted_secs > 0.0);
+    // The decision consumed a live sample: the stage's series has one, and
+    // scanning had begun by then (the controller defers until it has a
+    // usable rate).
+    let series = result.stats().series_for(retune.stage).unwrap();
+    assert!(
+        series.points.iter().any(|p| p.value > 0.0),
+        "predictor decided without a live throughput sample"
+    );
+}
+
+#[test]
+fn auto_mode_shrinks_to_bounds_min_under_generous_deadline() {
+    // A one-hour deadline: the smallest DOP meets it easily, so the
+    // predictor shrinks 4→1 once it has a live rate sample.
+    let c = catalog();
+    let builder = {
+        let b = LogicalPlanBuilder::scan(&c, "sales").unwrap();
+        let aggs = vec![b.agg(AggKind::Count, "qty", "cnt").unwrap()];
+        b.aggregate(&["region"], aggs).unwrap()
+    };
+    let (ref_rows, ref_scans) = reference(&c, &builder);
+    let tree = tree_at(&builder, 4);
+    let executor = QueryExecutor::new(opts(4, ElasticityConfig::auto(3_600_000)));
+    let result = executor.execute_tree(&c, &tree).unwrap();
+    assert_elastic_run("auto-shrink", &result, &ref_rows, ref_scans, 4, 1);
+    let retune = result
+        .stats()
+        .retunes
+        .iter()
+        .find(|r| r.to_dop == 1)
+        .unwrap();
+    assert!(
+        retune.predicted_secs.is_finite() && retune.predicted_secs >= 0.0,
+        "shrink decision must come from a finite prediction, got {}",
+        retune.predicted_secs
+    );
+}
+
+#[test]
+fn elasticity_off_records_nothing() {
+    let c = catalog();
+    let builder = LogicalPlanBuilder::scan(&c, "sales").unwrap();
+    let tree = tree_at(&builder, 4);
+    let executor = QueryExecutor::new(opts(4, ElasticityConfig::off()));
+    let result = executor.execute_tree(&c, &tree).unwrap();
+    assert!(result.stats().retunes.is_empty());
+    assert!(result.stats().series.is_empty());
+    assert_eq!(result.stats().rows_produced("TableScan"), 64);
+}
+
+#[test]
+fn env_schedule_injector_parses_the_matrix_values() {
+    // The CI elasticity matrix toggles ACCORDION_ELASTICITY; the injector
+    // must map each matrix value onto the right controller mode.
+    assert_eq!(
+        ElasticityConfig::parse_mode(Some("off")),
+        ElasticityMode::Off
+    );
+    assert_eq!(
+        ElasticityConfig::parse_mode(Some("forced-grow")),
+        ElasticityMode::ForcedGrow
+    );
+    assert_eq!(
+        ElasticityConfig::parse_mode(Some("forced-shrink")),
+        ElasticityMode::ForcedShrink
+    );
+}
+
+#[test]
+fn repeated_grow_shrink_cycles_stay_correct() {
+    // Hammer the mechanism: alternating forced targets across runs on the
+    // same catalog must stay byte-identical to the reference every time.
+    let c = catalog();
+    let builder = {
+        let b = LogicalPlanBuilder::scan(&c, "sales").unwrap();
+        b.top_n(&[("qty", true), ("region", false), ("price", false)], 10)
+            .unwrap()
+    };
+    let (ref_rows, _) = reference(&c, &builder);
+    for round in 0..3 {
+        for (start_dop, target) in [(1u32, 6u32), (4, 2), (2, 8), (8, 1)] {
+            let tree = tree_at(&builder, start_dop);
+            let executor = QueryExecutor::new(opts(2, ElasticityConfig::forced(target)));
+            let result = executor.execute_tree(&c, &tree).unwrap();
+            assert_eq!(
+                sorted_rows(&result),
+                ref_rows,
+                "round {round}: {start_dop}→{target} diverged"
+            );
+        }
+    }
+}

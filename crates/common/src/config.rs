@@ -158,6 +158,114 @@ impl NetworkConfig {
     }
 }
 
+/// How (and whether) the runtime elasticity controller retunes Source-stage
+/// DOP mid-query (paper §5.2, Fig 13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElasticityMode {
+    /// No controller: stages keep their planned parallelism.
+    Off,
+    /// The what-if predictor picks the **smallest** DOP within the stage's
+    /// bounds whose predicted completion time (`T_remain = V_remain /
+    /// R_consume`) meets the deadline; if none does, the largest.
+    Auto {
+        /// Target completion deadline for every Source stage, milliseconds.
+        deadline_ms: u64,
+    },
+    /// Test schedule injector: retune to exactly `target_dop` (clamped to
+    /// the stage's bounds) at the first decision point, then go passive.
+    Forced { target_dop: u32 },
+    /// Test schedule injector: double the DOP (clamped) at the first
+    /// decision point, then go passive. `ACCORDION_ELASTICITY=forced-grow`.
+    ForcedGrow,
+    /// Test schedule injector: drop to the stage's minimum DOP at the first
+    /// decision point, then go passive. `ACCORDION_ELASTICITY=forced-shrink`.
+    ForcedShrink,
+}
+
+/// Configuration of the intra-query re-parallelization controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElasticityConfig {
+    pub mode: ElasticityMode,
+    /// Decision cadence: the controller pauses each elastic stage's split
+    /// queue after every `decide_every_splits` claims and retunes at that
+    /// boundary — re-parallelization always happens **between splits**.
+    pub decide_every_splits: u64,
+    /// Controller poll period between checks for due decisions and runtime
+    /// info samples, microseconds.
+    pub poll_interval_us: u64,
+}
+
+impl Default for ElasticityConfig {
+    fn default() -> Self {
+        ElasticityConfig {
+            mode: ElasticityMode::Off,
+            decide_every_splits: 1,
+            poll_interval_us: 200,
+        }
+    }
+}
+
+impl ElasticityConfig {
+    pub fn off() -> Self {
+        ElasticityConfig::default()
+    }
+
+    /// Deterministic test schedule: jump to `target_dop` at the first split
+    /// boundary.
+    pub fn forced(target_dop: u32) -> Self {
+        ElasticityConfig {
+            mode: ElasticityMode::Forced { target_dop },
+            ..ElasticityConfig::default()
+        }
+    }
+
+    /// Predictor-driven mode with a completion deadline in milliseconds.
+    pub fn auto(deadline_ms: u64) -> Self {
+        ElasticityConfig {
+            mode: ElasticityMode::Auto { deadline_ms },
+            ..ElasticityConfig::default()
+        }
+    }
+
+    /// Deadline used by `auto` when no explicit `auto:<deadline_ms>` suffix
+    /// is given. A deadline of 0 would be degenerate — nothing can meet it,
+    /// so the predictor would pin every stage at its maximum DOP.
+    pub const DEFAULT_AUTO_DEADLINE_MS: u64 = 1_000;
+
+    /// Reads `ACCORDION_ELASTICITY` (`off`, `forced-grow`, `forced-shrink`,
+    /// `auto[:deadline_ms]`); anything else — including unset — is `Off`.
+    /// This is what the CI elasticity matrix toggles.
+    pub fn from_env() -> Self {
+        ElasticityConfig {
+            mode: Self::parse_mode(std::env::var("ACCORDION_ELASTICITY").ok().as_deref()),
+            ..ElasticityConfig::default()
+        }
+    }
+
+    /// Parses one `ACCORDION_ELASTICITY` value (see [`Self::from_env`]).
+    /// Bare `auto` — or an unparsable deadline suffix — falls back to
+    /// [`Self::DEFAULT_AUTO_DEADLINE_MS`].
+    pub fn parse_mode(value: Option<&str>) -> ElasticityMode {
+        match value {
+            Some("forced-grow") => ElasticityMode::ForcedGrow,
+            Some("forced-shrink") => ElasticityMode::ForcedShrink,
+            Some(v) if v == "auto" || v.starts_with("auto:") => {
+                let deadline_ms = v
+                    .strip_prefix("auto:")
+                    .and_then(|d| d.parse::<u64>().ok())
+                    .unwrap_or(Self::DEFAULT_AUTO_DEADLINE_MS);
+                ElasticityMode::Auto { deadline_ms }
+            }
+            _ => ElasticityMode::Off,
+        }
+    }
+
+    /// True when a controller should run at all.
+    pub fn enabled(&self) -> bool {
+        self.mode != ElasticityMode::Off
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +294,47 @@ mod tests {
         assert_eq!(fixed.max_buffer_pages, Some(1));
         let open = NetworkConfig::unlimited().with_unbounded_buffers();
         assert_eq!(open.max_buffer_pages, None);
+    }
+
+    #[test]
+    fn elasticity_modes() {
+        assert!(!ElasticityConfig::off().enabled());
+        assert!(ElasticityConfig::forced(4).enabled());
+        assert_eq!(
+            ElasticityConfig::auto(250).mode,
+            ElasticityMode::Auto { deadline_ms: 250 }
+        );
+        assert_eq!(
+            ElasticityConfig::parse_mode(Some("forced-grow")),
+            ElasticityMode::ForcedGrow
+        );
+        assert_eq!(
+            ElasticityConfig::parse_mode(Some("forced-shrink")),
+            ElasticityMode::ForcedShrink
+        );
+        assert_eq!(
+            ElasticityConfig::parse_mode(Some("auto:500")),
+            ElasticityMode::Auto { deadline_ms: 500 }
+        );
+        // Bare `auto` and malformed suffixes get the non-degenerate default
+        // deadline instead of an unmeetable 0 ms.
+        assert_eq!(
+            ElasticityConfig::parse_mode(Some("auto")),
+            ElasticityMode::Auto {
+                deadline_ms: ElasticityConfig::DEFAULT_AUTO_DEADLINE_MS
+            }
+        );
+        assert_eq!(
+            ElasticityConfig::parse_mode(Some("auto:5OO")),
+            ElasticityMode::Auto {
+                deadline_ms: ElasticityConfig::DEFAULT_AUTO_DEADLINE_MS
+            }
+        );
+        assert_eq!(ElasticityConfig::parse_mode(None), ElasticityMode::Off);
+        assert_eq!(
+            ElasticityConfig::parse_mode(Some("bogus")),
+            ElasticityMode::Off
+        );
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod metrics;
 pub mod sync;
 
 pub use clock::{Clock, ManualClock, SharedClock, SystemClock};
-pub use config::{ClusterConfig, EngineConfig, NetworkConfig};
+pub use config::{ClusterConfig, ElasticityConfig, ElasticityMode, EngineConfig, NetworkConfig};
 pub use error::{AccordionError, Result};
 pub use id::{
     BufferId, DriverId, NodeId, PipelineId, PlanNodeId, QueryId, SplitId, StageId, TaskId,

@@ -168,6 +168,12 @@ impl TimeSeries {
         self.points.lock().clone()
     }
 
+    /// Most recent point, if any — what the elasticity controller's what-if
+    /// predictor reads as the live sample.
+    pub fn last(&self) -> Option<TimePoint> {
+        self.points.lock().last().copied()
+    }
+
     pub fn len(&self) -> usize {
         self.points.lock().len()
     }
@@ -247,5 +253,6 @@ mod tests {
         assert_eq!(pts[1].at, Duration::from_millis(100));
         assert_eq!(ts.max_value(), 2.0);
         assert!(!ts.is_empty());
+        assert_eq!(ts.last(), Some(pts[1]));
     }
 }

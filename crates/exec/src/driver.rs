@@ -39,6 +39,7 @@ use crate::operators::{
     BoxedStream, FilterOp, FinalHashAggOp, HashJoinProbeOp, JoinTable, LimitOp, PartialHashAggOp,
     ProjectOp, QueueSource, ScanSource, SortOp, TopNOp,
 };
+use crate::splits::{FeedScanSource, SplitFeed};
 
 /// Buffered partitions of one intra-task local exchange, routed by the same
 /// [`route_page`] helper the network writers use.
@@ -68,6 +69,10 @@ pub struct TaskContext<'a> {
     /// Hash-join build tables, indexed by the splitter's join ids.
     join_tables: Vec<Option<Arc<JoinTable>>>,
     metrics: Arc<QueryMetrics>,
+    /// Elastic-stage scans claim splits from the stage's shared queue via
+    /// this feed instead of the static `split_index % parallelism`
+    /// assignment — what makes the task set grow/shrinkable between splits.
+    split_feed: Option<SplitFeed>,
     /// End reason of the last output pipeline's chain, forwarded by
     /// [`run_task`] as the task's own end page.
     end_reason: EndReason,
@@ -127,8 +132,18 @@ impl<'a> TaskContext<'a> {
                 .collect(),
             join_tables: vec![None; joins],
             metrics,
+            split_feed: None,
             end_reason: EndReason::UpstreamFinished,
         }
+    }
+
+    /// Makes this task's table scan claim splits from its stage's shared
+    /// [`SplitQueue`] (one split at a time) instead of the static
+    /// assignment. Set by the cluster scheduler for elastic Source stages.
+    ///
+    /// [`SplitQueue`]: crate::splits::SplitQueue
+    pub fn set_split_feed(&mut self, feed: SplitFeed) {
+        self.split_feed = Some(feed);
     }
 
     /// Number of drivers the pipeline needs: one per local-exchange
@@ -323,9 +338,18 @@ fn build_source(
 ) -> Result<BoxedStream> {
     match spec {
         OperatorSpec::TableScan { table, projection } => {
+            if let Some(feed) = ctx.split_feed.clone() {
+                // Elastic stage: claim splits from the shared queue so the
+                // task set can change between splits (paper Fig 13).
+                return Ok(Box::new(FeedScanSource::new(
+                    feed,
+                    projection.clone(),
+                    ctx.page_rows,
+                )));
+            }
             let meta = ctx.catalog.get(table)?;
-            // Splits are dealt round-robin across the stage's tasks — the
-            // assignment a later PR's scheduler makes dynamic.
+            // Static assignment: splits are dealt round-robin across the
+            // stage's tasks.
             let splits = meta
                 .splits
                 .splits()

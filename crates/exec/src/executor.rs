@@ -15,10 +15,10 @@
 //! stage's output partitioning into one elastic queue per consumer task
 //! (stage 0's consumer is the coordinator).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use accordion_common::config::NetworkConfig;
+use accordion_common::config::{ElasticityConfig, NetworkConfig};
 use accordion_common::{AccordionError, Result};
 use accordion_data::page::{DataPage, Page, PageBuilder};
 use accordion_data::schema::{Schema, SchemaRef};
@@ -46,6 +46,12 @@ pub struct ExecOptions {
     /// Simulated network shaping: elastic exchange buffer limits plus the
     /// token-bucket NIC model (used by the cluster scheduler).
     pub network: NetworkConfig,
+    /// Intra-query re-parallelization controller (used by the cluster
+    /// scheduler; the serial executor pins planned DOPs). Defaults to the
+    /// `ACCORDION_ELASTICITY` environment variable (`off`, `forced-grow`,
+    /// `forced-shrink`, `auto[:deadline_ms]`), else off — what the CI
+    /// elasticity matrix toggles.
+    pub elasticity: ElasticityConfig,
 }
 
 impl Default for ExecOptions {
@@ -59,6 +65,7 @@ impl Default for ExecOptions {
             page_rows: 1024,
             worker_threads,
             network: NetworkConfig::default(),
+            elasticity: ElasticityConfig::from_env(),
         }
     }
 }
@@ -80,6 +87,11 @@ impl ExecOptions {
 
     pub fn network(mut self, network: NetworkConfig) -> Self {
         self.network = network;
+        self
+    }
+
+    pub fn elasticity(mut self, elasticity: ElasticityConfig) -> Self {
+        self.elasticity = elasticity;
         self
     }
 }
@@ -149,6 +161,19 @@ pub fn route_policy(p: &Partitioning) -> RoutePolicy {
 /// consumer of a stage is its parent stage's task set; stage 0 is consumed
 /// by the coordinator (one consumer).
 pub fn register_exchanges(registry: &ExchangeRegistry, tree: &StageTree) -> Result<()> {
+    register_exchanges_leased(registry, tree, &HashSet::new())
+}
+
+/// [`register_exchanges`] with a **writer lease** on the stages in `leased`:
+/// their edges get one extra producer slot, which the elasticity controller
+/// claims and holds so the edge cannot end — and consumers cannot conclude
+/// the stage is done — while a mid-query DOP retune is still possible (see
+/// `accordion_net::exchange` on the EndSignal handshake).
+pub fn register_exchanges_leased(
+    registry: &ExchangeRegistry,
+    tree: &StageTree,
+    leased: &HashSet<u32>,
+) -> Result<()> {
     let mut consumers: HashMap<u32, u32> = HashMap::new();
     consumers.insert(0, 1);
     for f in tree.fragments() {
@@ -160,9 +185,10 @@ pub fn register_exchanges(registry: &ExchangeRegistry, tree: &StageTree) -> Resu
         let n = consumers.get(&f.stage.0).copied().ok_or_else(|| {
             AccordionError::Internal(format!("stage {} has no consumer", f.stage))
         })?;
+        let lease_slots = u32::from(leased.contains(&f.stage.0));
         registry.register(
             f.stage.0,
-            f.parallelism.max(1),
+            f.parallelism.max(1) + lease_slots,
             route_policy(&f.output_partitioning),
             n,
         )?;

@@ -17,7 +17,12 @@
 //!   exchanges) plus the exchange-wiring helpers shared with the
 //!   multi-threaded scheduler in `accordion-cluster`.
 //! * [`metrics`] — per-operator row/byte counters and rate meters exposed
-//!   through [`QueryResult::stats`].
+//!   through [`QueryResult::stats`], plus the [`RuntimeCollector`] that
+//!   periodically samples them into per-stage `TimeSeries` (paper Fig 18)
+//!   while a query runs.
+//! * [`splits`] — the shared [`SplitQueue`] elastic Source stages claim
+//!   their splits from, making scans resumable across mid-query DOP changes
+//!   (paper Fig 13; driven by `accordion_cluster::elastic`).
 //!
 //! For concurrent stage execution on a worker pool with bounded elastic
 //! buffers and the simulated NIC, use `accordion_cluster::QueryExecutor`.
@@ -30,11 +35,15 @@ pub mod driver;
 pub mod executor;
 pub mod metrics;
 pub mod operators;
+pub mod splits;
 
 pub use driver::{run_pipeline, run_task, TaskContext};
 pub use executor::{
-    drain_result, execute_logical, execute_tree, register_exchanges, route_policy, ExecOptions,
-    QueryResult,
+    drain_result, execute_logical, execute_tree, register_exchanges, register_exchanges_leased,
+    route_policy, ExecOptions, QueryResult,
 };
-pub use metrics::{OperatorStats, QueryMetrics, QueryStats};
+pub use metrics::{
+    OperatorStats, QueryMetrics, QueryStats, RetuneEvent, RuntimeCollector, StageSeries,
+};
 pub use operators::{JoinTable, PageStream};
+pub use splits::{FeedScanSource, SplitFeed, SplitQueue};

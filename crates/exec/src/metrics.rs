@@ -1,4 +1,4 @@
-//! Per-query runtime metrics (paper §5.1 groundwork).
+//! Per-query runtime metrics and the runtime info collector (paper §5.1).
 //!
 //! Every driver chain wires a [`MeteredStream`] around each operator it
 //! instantiates, counting rows and bytes produced and feeding a windowed
@@ -7,11 +7,18 @@
 //! per-(stage, task, pipeline, operator) registrations; a final
 //! [`QueryMetrics::snapshot`] becomes the [`QueryStats`] exposed through
 //! `QueryResult::stats()`.
+//!
+//! While a query runs, a [`RuntimeCollector`] periodically samples the live
+//! meters into per-stage [`TimeSeries`] (paper Fig 18) instead of only
+//! snapshotting at the end — the elasticity controller in
+//! `accordion_cluster::elastic` polls it between splits and feeds the latest
+//! sample to the what-if predictor. DOP retunes the controller applies are
+//! recorded as [`RetuneEvent`]s and surface in [`QueryStats::retunes`].
 
 use std::sync::Arc;
 
 use accordion_common::clock::{SharedClock, SystemClock};
-use accordion_common::metrics::{Counter, RateMeter};
+use accordion_common::metrics::{Counter, RateMeter, TimePoint, TimeSeries};
 use accordion_common::sync::Mutex;
 use accordion_common::Result;
 use accordion_data::page::Page;
@@ -36,14 +43,31 @@ pub struct OperatorMetrics {
 pub struct QueryMetrics {
     clock: SharedClock,
     operators: Mutex<Vec<Arc<OperatorMetrics>>>,
+    /// Per-stage runtime time series attached by a [`RuntimeCollector`].
+    series: Mutex<Vec<(u32, Arc<TimeSeries>)>>,
+    /// DOP retunes applied by the elasticity controller, in order.
+    retunes: Mutex<Vec<RetuneEvent>>,
 }
 
 impl QueryMetrics {
     pub fn new() -> Self {
+        Self::with_clock(SystemClock::shared())
+    }
+
+    /// A collector reading time through `clock` (tests drive a
+    /// `ManualClock`; the engine uses the system clock).
+    pub fn with_clock(clock: SharedClock) -> Self {
         QueryMetrics {
-            clock: SystemClock::shared(),
+            clock,
             operators: Mutex::new(Vec::new()),
+            series: Mutex::new(Vec::new()),
+            retunes: Mutex::new(Vec::new()),
         }
+    }
+
+    /// The clock every meter of this query reads.
+    pub fn clock(&self) -> SharedClock {
+        self.clock.clone()
     }
 
     /// Registers one operator instance and returns its counters.
@@ -67,7 +91,29 @@ impl QueryMetrics {
         m
     }
 
-    /// Final snapshot: samples every rate meter and freezes the counters.
+    /// Rows produced so far by every instance of `operator` within `stage`.
+    pub fn operator_rows(&self, stage: u32, operator: &str) -> u64 {
+        self.operators
+            .lock()
+            .iter()
+            .filter(|m| m.stage == stage && m.operator == operator)
+            .map(|m| m.rows.get())
+            .sum()
+    }
+
+    /// Attaches a per-stage runtime time series so the final snapshot
+    /// carries it (done by [`RuntimeCollector::new`]).
+    pub fn attach_series(&self, stage: u32, series: Arc<TimeSeries>) {
+        self.series.lock().push((stage, series));
+    }
+
+    /// Records one DOP retune applied by the elasticity controller.
+    pub fn record_retune(&self, event: RetuneEvent) {
+        self.retunes.lock().push(event);
+    }
+
+    /// Final snapshot: samples every rate meter and freezes the counters,
+    /// the collected per-stage time series, and the retune log.
     pub fn snapshot(&self, exchange: ExchangeStats) -> QueryStats {
         let operators = self
             .operators
@@ -83,9 +129,20 @@ impl QueryMetrics {
                 rows_per_sec: m.rate.sample(),
             })
             .collect();
+        let series = self
+            .series
+            .lock()
+            .iter()
+            .map(|(stage, ts)| StageSeries {
+                stage: *stage,
+                points: ts.points(),
+            })
+            .collect();
         QueryStats {
             operators,
             exchange,
+            series,
+            retunes: self.retunes.lock().clone(),
         }
     }
 }
@@ -111,6 +168,29 @@ pub struct OperatorStats {
     pub rows_per_sec: f64,
 }
 
+/// One Source-stage DOP change applied by the elasticity controller
+/// (paper Fig 13): recorded at the between-splits decision boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetuneEvent {
+    pub stage: u32,
+    pub from_dop: u32,
+    pub to_dop: u32,
+    /// Splits already handed out when the retune landed.
+    pub splits_claimed: u64,
+    /// The what-if predictor's remaining-time estimate for `to_dop` at
+    /// decision time, seconds (`f64::INFINITY` with no rate sample yet,
+    /// `0.0` for forced test schedules, which bypass the predictor).
+    pub predicted_secs: f64,
+}
+
+/// Frozen runtime time series of one stage (paper Fig 18).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSeries {
+    pub stage: u32,
+    /// Samples in collection order; `at` is monotone non-decreasing.
+    pub points: Vec<TimePoint>,
+}
+
 /// Runtime statistics of one executed query.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct QueryStats {
@@ -118,6 +198,11 @@ pub struct QueryStats {
     pub operators: Vec<OperatorStats>,
     /// Aggregate shuffle-exchange transfer counters.
     pub exchange: ExchangeStats,
+    /// Per-stage runtime info samples collected while the query ran (empty
+    /// unless a [`RuntimeCollector`] was polling).
+    pub series: Vec<StageSeries>,
+    /// DOP retunes the elasticity controller applied, in order.
+    pub retunes: Vec<RetuneEvent>,
 }
 
 impl QueryStats {
@@ -137,6 +222,160 @@ impl QueryStats {
             .filter(|o| o.operator == operator)
             .map(|o| o.bytes)
             .sum()
+    }
+
+    /// Retunes applied to one stage, in order.
+    pub fn retunes_for(&self, stage: u32) -> Vec<&RetuneEvent> {
+        self.retunes.iter().filter(|r| r.stage == stage).collect()
+    }
+
+    /// The runtime series collected for one stage, if any.
+    pub fn series_for(&self, stage: u32) -> Option<&StageSeries> {
+        self.series.iter().find(|s| s.stage == stage)
+    }
+}
+
+/// Minimum spacing of periodic runtime-info samples. The controller polls
+/// far more often than a sample is worth recording; without a floor the
+/// append-only series would grow with query *duration* instead of with
+/// information (decision-boundary samples bypass the throttle — there are
+/// only O(log splits) of those).
+const SAMPLE_MIN_INTERVAL_NANOS: u64 = 10_000_000; // 10 ms
+
+#[derive(Debug)]
+struct StageTrack {
+    stage: u32,
+    series: Arc<TimeSeries>,
+    state: Mutex<TrackState>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TrackState {
+    /// Scan rows / clock at the start of the current measurement era. An
+    /// era begins at query start and is reset at every DOP retune, so the
+    /// measured rate always reflects the *current* task set — dividing a
+    /// whole-query average by the post-retune DOP would systematically
+    /// mispredict.
+    base_rows: u64,
+    base_nanos: u64,
+    /// Timestamp of the last recorded sample (`None` before the first).
+    last_push_nanos: Option<u64>,
+}
+
+/// The runtime info collector (paper §5.1, Fig 18): periodically samples the
+/// live per-operator meters of selected stages into per-stage
+/// [`TimeSeries`] **while the query runs**. Each sample is the stage's scan
+/// throughput over the current measurement era (rows scanned since the era
+/// began over elapsed era time); eras restart at every DOP retune via
+/// [`RuntimeCollector::reset_baseline`]. The elasticity controller owns one
+/// collector per query, polls [`RuntimeCollector::sample`] on its decision
+/// loop, and reads a fresh [`RuntimeCollector::sample_stage`] at each
+/// decision boundary; the collected series end up in
+/// [`QueryStats::series`].
+#[derive(Debug)]
+pub struct RuntimeCollector {
+    metrics: Arc<QueryMetrics>,
+    stages: Vec<StageTrack>,
+}
+
+impl RuntimeCollector {
+    /// A collector sampling `stages`, attaching one fresh series per stage
+    /// to `metrics` so the final snapshot carries them.
+    pub fn new(metrics: Arc<QueryMetrics>, stages: &[u32]) -> Self {
+        let now = metrics.clock().now_nanos();
+        let stages: Vec<StageTrack> = stages
+            .iter()
+            .map(|&stage| {
+                let ts = TimeSeries::shared(metrics.clock());
+                metrics.attach_series(stage, ts.clone());
+                StageTrack {
+                    stage,
+                    series: ts,
+                    state: Mutex::new(TrackState {
+                        base_rows: 0,
+                        base_nanos: now,
+                        last_push_nanos: None,
+                    }),
+                }
+            })
+            .collect();
+        RuntimeCollector { metrics, stages }
+    }
+
+    fn track(&self, stage: u32) -> Option<&StageTrack> {
+        self.stages.iter().find(|t| t.stage == stage)
+    }
+
+    /// Current-era scan rate of one track, rows/second.
+    fn era_rate(&self, track: &StageTrack, now: u64) -> f64 {
+        let st = *track.state.lock();
+        let rows = self
+            .metrics
+            .operator_rows(track.stage, "TableScan")
+            .saturating_sub(st.base_rows);
+        let elapsed_sec = now.saturating_sub(st.base_nanos) as f64 / 1_000_000_000.0;
+        if elapsed_sec <= 0.0 {
+            return 0.0;
+        }
+        rows as f64 / elapsed_sec
+    }
+
+    fn push_sample(&self, track: &StageTrack, now: u64, force: bool) -> f64 {
+        let rate = self.era_rate(track, now);
+        let mut st = track.state.lock();
+        let due = match st.last_push_nanos {
+            None => true,
+            Some(last) => force || now.saturating_sub(last) >= SAMPLE_MIN_INTERVAL_NANOS,
+        };
+        if due {
+            st.last_push_nanos = Some(now);
+            drop(st);
+            track.series.push(rate);
+        }
+        rate
+    }
+
+    /// Takes one (rate-limited) periodic sample of every tracked stage.
+    pub fn sample(&self) {
+        let now = self.metrics.clock().now_nanos();
+        for track in &self.stages {
+            self.push_sample(track, now, false);
+        }
+    }
+
+    /// Takes and returns a fresh sample of one stage, bypassing the
+    /// periodic rate limit — the decision-boundary read of the what-if
+    /// predictor's `R_consume`.
+    pub fn sample_stage(&self, stage: u32) -> f64 {
+        let now = self.metrics.clock().now_nanos();
+        self.track(stage)
+            .map(|t| self.push_sample(t, now, true))
+            .unwrap_or(0.0)
+    }
+
+    /// Starts a new measurement era for `stage` — called by the controller
+    /// right after it applies a DOP retune, so subsequent rates measure the
+    /// new task set only.
+    pub fn reset_baseline(&self, stage: u32) {
+        if let Some(track) = self.track(stage) {
+            let mut st = track.state.lock();
+            st.base_rows = self.metrics.operator_rows(stage, "TableScan");
+            st.base_nanos = self.metrics.clock().now_nanos();
+        }
+    }
+
+    /// The live series of one tracked stage.
+    pub fn series(&self, stage: u32) -> Option<Arc<TimeSeries>> {
+        self.track(stage).map(|t| t.series.clone())
+    }
+
+    /// Most recent sampled rate of `stage` (rows/second; `0.0` before the
+    /// first sample).
+    pub fn last_rate(&self, stage: u32) -> f64 {
+        self.series(stage)
+            .and_then(|ts| ts.last())
+            .map(|p| p.value)
+            .unwrap_or(0.0)
     }
 }
 
@@ -189,5 +428,57 @@ mod tests {
         assert_eq!(stats.rows_produced("TableScan"), 3);
         assert!(stats.bytes_produced("TableScan") > 0);
         assert_eq!(stats.operators.len(), 1);
+        assert!(stats.series.is_empty());
+        assert!(stats.retunes.is_empty());
+    }
+
+    #[test]
+    fn runtime_collector_samples_live_scan_rate() {
+        use accordion_common::clock::ManualClock;
+
+        let clock = ManualClock::shared();
+        let metrics = Arc::new(QueryMetrics::with_clock(clock.clone()));
+        let m = metrics.register(2, 0, 0, "TableScan");
+        let collector = RuntimeCollector::new(metrics.clone(), &[2]);
+
+        // 100 rows over the first second: era rate 100 rows/s.
+        m.rows.add(100);
+        clock.advance_millis(1000);
+        collector.sample();
+        assert!((collector.last_rate(2) - 100.0).abs() < 1e-9);
+
+        // Sampling again without time passing is throttled: no new point.
+        collector.sample();
+        assert_eq!(collector.series(2).unwrap().len(), 1);
+
+        // 100 more rows over another second: 100 rows/s over the era.
+        m.rows.add(100);
+        clock.advance_millis(1000);
+        collector.sample();
+        assert!((collector.last_rate(2) - 100.0).abs() < 1e-9);
+        assert_eq!(collector.last_rate(7), 0.0, "untracked stage");
+
+        // A retune starts a new measurement era: only post-reset rows count,
+        // so the rate reflects the new task set instead of a stale average.
+        collector.reset_baseline(2);
+        m.rows.add(50);
+        clock.advance_millis(1000);
+        let fresh = collector.sample_stage(2);
+        assert!((fresh - 50.0).abs() < 1e-9, "era rate was {fresh}");
+
+        metrics.record_retune(RetuneEvent {
+            stage: 2,
+            from_dop: 1,
+            to_dop: 4,
+            splits_claimed: 1,
+            predicted_secs: 0.5,
+        });
+        let stats = metrics.snapshot(ExchangeStats::default());
+        let series = stats.series_for(2).expect("series attached");
+        assert_eq!(series.points.len(), 3);
+        // Samples are monotone in time.
+        assert!(series.points.windows(2).all(|w| w[0].at <= w[1].at));
+        assert_eq!(stats.retunes_for(2).len(), 1);
+        assert_eq!(stats.retunes[0].to_dop, 4);
     }
 }

@@ -1,0 +1,402 @@
+//! The shared split queue: resumable scans for intra-query elasticity.
+//!
+//! Static split assignment (`split_index % parallelism == task_index`) pins
+//! a stage's DOP for the lifetime of the query. A [`SplitQueue`] removes
+//! that coupling: every task of an elastic Source stage **claims** its next
+//! split from one shared queue, so the unconsumed `SplitSet` remainder is a
+//! single pool any task set — including one grown or shrunk mid-query — can
+//! drain. Each split is handed out exactly once, which is what makes
+//! re-parallelization lossless and duplication-free by construction.
+//!
+//! The queue doubles as the controller's **decision boundary**: with a
+//! pause threshold set, claims beyond it block (yielding the scheduler's
+//! compute slot) until the controller has sampled the runtime info,
+//! consulted the what-if predictor and applied any DOP change — so retunes
+//! always happen *between splits*, never mid-split (paper Fig 13). Retired
+//! tasks observe their retirement at the same boundary: their next claim
+//! returns `None` and the scan emits `Page::End(EndSignal)`.
+
+use std::collections::HashSet;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use accordion_common::sync::{condvar_wait, Condvar, Mutex, Semaphore};
+use accordion_common::Result;
+use accordion_data::page::{EndReason, Page};
+use accordion_storage::split::{Split, SplitPages};
+
+use crate::operators::PageStream;
+
+#[derive(Debug)]
+struct QueueState {
+    splits: VecDeque<Split>,
+    claimed: u64,
+    remaining_rows: u64,
+    remaining_bytes: u64,
+    retired: HashSet<u32>,
+    /// Claims at or beyond this count block until the controller advances
+    /// the threshold (or releases the queue).
+    pause_after: Option<u64>,
+    /// Controller detached: never block a claim again.
+    released: bool,
+}
+
+/// Multi-task split pool of one elastic Source stage.
+#[derive(Debug)]
+pub struct SplitQueue {
+    state: Mutex<QueueState>,
+    /// Wakes claimants blocked on the pause threshold or retirement.
+    cv: Condvar,
+}
+
+impl SplitQueue {
+    pub fn new(splits: Vec<Split>) -> Self {
+        let remaining_rows = splits.iter().map(|s| s.rows).sum();
+        let remaining_bytes = splits.iter().map(|s| s.bytes).sum();
+        SplitQueue {
+            state: Mutex::new(QueueState {
+                splits: splits.into(),
+                claimed: 0,
+                remaining_rows,
+                remaining_bytes,
+                retired: HashSet::new(),
+                pause_after: None,
+                released: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Claims the next split for task `slot`, blocking at a pause boundary
+    /// until the controller's decision lands. Returns `None` when the queue
+    /// is exhausted or the slot was retired. `gate` (the scheduler's
+    /// compute-slot semaphore) is yielded for the duration of any wait.
+    pub fn claim(&self, slot: u32, gate: Option<&Semaphore>) -> Option<Split> {
+        loop {
+            let mut st = self.state.lock();
+            if st.retired.contains(&slot) {
+                return None;
+            }
+            if st.splits.is_empty() {
+                return None;
+            }
+            let paused = !st.released && matches!(st.pause_after, Some(n) if st.claimed >= n);
+            if !paused {
+                let split = st.splits.pop_front().expect("non-empty checked above");
+                st.claimed += 1;
+                st.remaining_rows = st.remaining_rows.saturating_sub(split.rows);
+                st.remaining_bytes = st.remaining_bytes.saturating_sub(split.bytes);
+                return Some(split);
+            }
+            if let Some(g) = gate {
+                g.release();
+            }
+            while !st.released
+                && matches!(st.pause_after, Some(n) if st.claimed >= n)
+                && !st.retired.contains(&slot)
+                && !st.splits.is_empty()
+            {
+                st = condvar_wait(&self.cv, st);
+            }
+            drop(st);
+            if let Some(g) = gate {
+                g.acquire();
+            }
+        }
+    }
+
+    /// Retires a task slot: its next claim returns `None`, making it finish
+    /// its current split, emit `Page::End(EndSignal)` and exit.
+    pub fn retire(&self, slot: u32) {
+        self.state.lock().retired.insert(slot);
+        self.cv.notify_all();
+    }
+
+    /// True once `slot` was retired (distinguishes the EndSignal scan end
+    /// from plain exhaustion).
+    pub fn is_retired(&self, slot: u32) -> bool {
+        self.state.lock().retired.contains(&slot)
+    }
+
+    /// Splits handed out so far.
+    pub fn claimed(&self) -> u64 {
+        self.state.lock().claimed
+    }
+
+    /// Splits not yet claimed.
+    pub fn remaining_splits(&self) -> usize {
+        self.state.lock().splits.len()
+    }
+
+    /// Rows in the unclaimed splits — the `V_remain` input of the what-if
+    /// predictor (paper §5.2).
+    pub fn remaining_rows(&self) -> u64 {
+        self.state.lock().remaining_rows
+    }
+
+    /// Bytes in the unclaimed splits.
+    pub fn remaining_bytes(&self) -> u64 {
+        self.state.lock().remaining_bytes
+    }
+
+    /// Sets the pause threshold: claims once `claimed >= threshold` block
+    /// until the controller advances or releases it.
+    pub fn set_pause_after(&self, threshold: Option<u64>) {
+        self.state.lock().pause_after = threshold;
+        self.cv.notify_all();
+    }
+
+    /// True when the controller owes the queue a decision: the pause
+    /// threshold was reached and unclaimed splits remain.
+    pub fn decision_due(&self) -> bool {
+        let st = self.state.lock();
+        !st.released
+            && !st.splits.is_empty()
+            && matches!(st.pause_after, Some(n) if st.claimed >= n)
+    }
+
+    /// Detaches the controller: clears any pause and guarantees no claim
+    /// ever blocks again (also the error-path unblock).
+    pub fn release(&self) {
+        let mut st = self.state.lock();
+        st.released = true;
+        st.pause_after = None;
+        self.cv.notify_all();
+    }
+}
+
+/// One task's handle on its stage's [`SplitQueue`].
+#[derive(Clone)]
+pub struct SplitFeed {
+    pub queue: Arc<SplitQueue>,
+    /// This task's slot id (stable across the query; never reused).
+    pub slot: u32,
+    /// Compute-slot semaphore to yield while blocked at a pause boundary.
+    pub gate: Option<Arc<Semaphore>>,
+}
+
+impl std::fmt::Debug for SplitFeed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SplitFeed")
+            .field("slot", &self.slot)
+            .finish()
+    }
+}
+
+impl SplitFeed {
+    pub fn new(queue: Arc<SplitQueue>, slot: u32, gate: Option<Arc<Semaphore>>) -> Self {
+        SplitFeed { queue, slot, gate }
+    }
+
+    pub fn claim(&self) -> Option<Split> {
+        self.queue.claim(self.slot, self.gate.as_deref())
+    }
+
+    pub fn retired(&self) -> bool {
+        self.queue.is_retired(self.slot)
+    }
+}
+
+/// Scan source of an elastic Source stage: streams pages of splits claimed
+/// one at a time from the shared queue, applying the scan's projection. The
+/// queue-claim counterpart of [`crate::operators::ScanSource`].
+pub struct FeedScanSource {
+    feed: SplitFeed,
+    projection: Vec<usize>,
+    page_rows: usize,
+    current: Option<SplitPages>,
+}
+
+impl FeedScanSource {
+    pub fn new(feed: SplitFeed, projection: Vec<usize>, page_rows: usize) -> Self {
+        FeedScanSource {
+            feed,
+            projection,
+            page_rows,
+            current: None,
+        }
+    }
+}
+
+impl PageStream for FeedScanSource {
+    fn next_page(&mut self) -> Result<Page> {
+        loop {
+            if self.current.is_none() {
+                match self.feed.claim() {
+                    Some(split) => self.current = Some(split.open(self.page_rows)?),
+                    None => {
+                        // Between-splits shutdown: a retired task ends with
+                        // the engine's EndSignal (paper §4.3), an exhausted
+                        // queue with the ordinary scan end.
+                        let reason = if self.feed.retired() {
+                            EndReason::EndSignal
+                        } else {
+                            EndReason::ScanExhausted
+                        };
+                        return Ok(Page::end(reason));
+                    }
+                }
+            }
+            match self.current.as_mut().unwrap().next_page()? {
+                Some(page) => {
+                    if page.is_empty() {
+                        continue;
+                    }
+                    return Ok(Page::data(page.project(&self.projection)));
+                }
+                None => self.current = None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accordion_common::{NodeId, SplitId};
+    use accordion_data::column::Column;
+    use accordion_data::page::DataPage;
+    use accordion_storage::split::SplitData;
+    use std::time::Duration;
+
+    fn split(id: u64, vals: Vec<i64>) -> Split {
+        let page = DataPage::new(vec![Column::from_i64(vals)]);
+        let rows = page.row_count() as u64;
+        let bytes = page.byte_size() as u64;
+        Split {
+            id: SplitId(id),
+            node: NodeId(0),
+            table: "t".into(),
+            data: SplitData::Memory(Arc::new(vec![page])),
+            rows,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn claims_hand_out_each_split_exactly_once() {
+        let q = SplitQueue::new(vec![
+            split(0, vec![1]),
+            split(1, vec![2]),
+            split(2, vec![3]),
+        ]);
+        assert_eq!(q.remaining_splits(), 3);
+        assert_eq!(q.remaining_rows(), 3);
+        let mut ids = Vec::new();
+        while let Some(s) = q.claim(0, None) {
+            ids.push(s.id.0);
+        }
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(q.claimed(), 3);
+        assert_eq!(q.remaining_rows(), 0);
+        assert!(q.claim(1, None).is_none(), "exhausted for every slot");
+    }
+
+    #[test]
+    fn retired_slot_claims_nothing() {
+        let q = SplitQueue::new(vec![split(0, vec![1]), split(1, vec![2])]);
+        q.retire(7);
+        assert!(q.is_retired(7));
+        assert!(q.claim(7, None).is_none());
+        // Other slots keep claiming.
+        assert!(q.claim(0, None).is_some());
+    }
+
+    #[test]
+    fn pause_blocks_claims_until_advanced() {
+        let q = Arc::new(SplitQueue::new(vec![
+            split(0, vec![1]),
+            split(1, vec![2]),
+            split(2, vec![3]),
+        ]));
+        q.set_pause_after(Some(1));
+        assert!(
+            q.claim(0, None).is_some(),
+            "claims below the threshold pass"
+        );
+        assert!(q.decision_due());
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.claim(0, None));
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!h.is_finished(), "claim at the threshold must block");
+        // The controller advances the threshold by one decision interval
+        // past the claim it is about to admit.
+        q.set_pause_after(Some(3));
+        assert!(h.join().unwrap().is_some());
+        assert!(!q.decision_due(), "below the new threshold");
+    }
+
+    #[test]
+    fn release_unblocks_everything_forever() {
+        let q = Arc::new(SplitQueue::new(vec![split(0, vec![1]), split(1, vec![2])]));
+        q.set_pause_after(Some(0));
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.claim(0, None));
+        std::thread::sleep(Duration::from_millis(10));
+        q.release();
+        assert!(h.join().unwrap().is_some());
+        assert!(!q.decision_due());
+        assert!(q.claim(0, None).is_some(), "no pause after release");
+    }
+
+    #[test]
+    fn retire_wakes_a_blocked_claimant() {
+        let q = Arc::new(SplitQueue::new(vec![split(0, vec![1]), split(1, vec![2])]));
+        q.set_pause_after(Some(0));
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.claim(3, None));
+        std::thread::sleep(Duration::from_millis(10));
+        q.retire(3);
+        assert!(h.join().unwrap().is_none(), "retired mid-wait");
+    }
+
+    #[test]
+    fn blocked_claim_yields_gate_permit() {
+        let q = Arc::new(SplitQueue::new(vec![split(0, vec![1]), split(1, vec![2])]));
+        q.set_pause_after(Some(0));
+        let gate = Arc::new(Semaphore::new(1));
+        gate.acquire(); // the claiming "task" holds the only slot
+        let claimer = {
+            let (q, gate) = (q.clone(), gate.clone());
+            std::thread::spawn(move || {
+                let s = q.claim(0, Some(&gate));
+                gate.release();
+                s
+            })
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        // While the claimant is parked its compute slot must be free.
+        gate.acquire();
+        gate.release();
+        q.release();
+        assert!(claimer.join().unwrap().is_some());
+    }
+
+    #[test]
+    fn feed_scan_source_streams_and_signals_end() {
+        let q = Arc::new(SplitQueue::new(vec![
+            split(0, vec![1, 2]),
+            split(1, vec![3]),
+        ]));
+        let mut src = FeedScanSource::new(SplitFeed::new(q.clone(), 0, None), vec![0], 10);
+        let mut rows = 0;
+        let reason = loop {
+            match src.next_page().unwrap() {
+                Page::End(e) => break e.reason,
+                Page::Data(p) => rows += p.row_count(),
+            }
+        };
+        assert_eq!(rows, 3);
+        assert_eq!(reason, EndReason::ScanExhausted);
+
+        // A retired feed ends with the engine's EndSignal instead.
+        let q = Arc::new(SplitQueue::new(vec![split(0, vec![1])]));
+        q.retire(0);
+        let mut src = FeedScanSource::new(SplitFeed::new(q, 0, None), vec![0], 10);
+        match src.next_page().unwrap() {
+            Page::End(e) => assert_eq!(e.reason, EndReason::EndSignal),
+            other => panic!("expected end page, got {other}"),
+        }
+    }
+}

@@ -400,16 +400,18 @@ fn acceptance_full_stack_scan_filter_groupby_sort() {
     let optimizer = Optimizer::new(OptimizerConfig::default().with_parallelism(3));
     let physical = optimizer.optimize(&logical).unwrap();
     let tree = StageTree::build(physical).unwrap();
-    assert_eq!(tree.len(), 2, "gather exchange cuts one stage boundary");
-    let source = tree.fragment(accordion_common::StageId(1)).unwrap();
+    assert_eq!(tree.len(), 3, "scan stage, hash-merge stage, output stage");
+    let source = tree.fragment(accordion_common::StageId(2)).unwrap();
     assert_eq!(source.kind, StageKind::Source);
     assert_eq!(source.parallelism, 3, "partial side keeps the scan DOP");
+    let merge = tree.fragment(accordion_common::StageId(1)).unwrap();
+    assert_eq!(merge.parallelism, 2, "final phase runs distributed");
     let output = tree.root();
-    assert_eq!(output.parallelism, 1, "final side runs at parallelism 1");
+    assert_eq!(output.parallelism, 1, "root merge runs at parallelism 1");
 
-    // The output stage splits at the local exchange into the two pipelines
-    // of paper Fig 6.
-    let pipelines = split_pipelines(output).unwrap();
+    // The merge stage splits at the local exchange into the two pipelines
+    // of paper Fig 6; the output stage merges the per-task TopNs.
+    let pipelines = split_pipelines(merge).unwrap();
     assert_eq!(pipelines.len(), 2);
     assert_eq!(
         pipelines[0].operator_names(),
@@ -418,6 +420,10 @@ fn acceptance_full_stack_scan_filter_groupby_sort() {
     assert_eq!(
         pipelines[1].operator_names(),
         vec!["LocalSource", "FinalAggregate", "TopN", "Output"]
+    );
+    assert_eq!(
+        split_pipelines(output).unwrap()[0].operator_names(),
+        vec!["ExchangeSource", "TopN", "Output"]
     );
     // The source stage is one streaming pipeline ending in the partial agg.
     let scan_pipes = split_pipelines(source).unwrap();

@@ -186,6 +186,26 @@ impl ElasticQueue {
         }
     }
 
+    /// Adds `n` producers to the queue — the re-parallelization path: a
+    /// Source stage growing its task set mid-query registers the new tasks'
+    /// writers before they push. Callers must guarantee the queue has not
+    /// ended yet (the elasticity controller holds a writer lease on every
+    /// elastic edge precisely so `writers` cannot reach zero while a retune
+    /// is still possible).
+    pub fn add_writers(&self, n: u32) {
+        let mut st = self.state.lock();
+        debug_assert!(
+            st.writers > 0,
+            "add_writers on an ended queue would resurrect a closed stream"
+        );
+        st.writers += n;
+    }
+
+    /// Producers that have not yet finished this queue.
+    pub fn writers(&self) -> u32 {
+        self.state.lock().writers
+    }
+
     /// Marks one producer as finished. The last producer's `reason` becomes
     /// the end page consumers see after draining.
     pub fn writer_finished(&self, reason: EndReason) {

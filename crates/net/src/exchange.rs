@@ -17,6 +17,21 @@
 //!
 //! A failed task [`ExchangeRegistry::poison`]s the registry: every queue
 //! fails, which unwinds all blocked sibling tasks with the original error.
+//!
+//! ## Re-parallelization and the EndSignal handshake (Fig 13)
+//!
+//! Edges support **live producer-set changes** for the runtime elasticity
+//! controller. Shrinking needs no exchange support at all: a retiring task
+//! simply pushes `Page::End(EndSignal)` through its writer, closing its
+//! contribution. Growing re-registers the edge at the larger DOP with
+//! [`ExchangeRegistry::add_producers`] before the new tasks' writers push.
+//! The race between "last old producer finishes" and "new producers are
+//! added" is closed by a **writer lease**: the controller registers elastic
+//! edges with one extra producer slot and holds that writer itself, so the
+//! queues cannot deliver their end page — and consumers cannot conclude the
+//! stage is done — while a retune is still possible. Dropping the lease
+//! (explicitly, or via the writer drop guard on error paths) releases the
+//! slot once the stage's split queue is exhausted.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -251,6 +266,35 @@ impl ExchangeRegistry {
             ))
         })?;
         Ok(Box::new(EdgeReader { queue, gate }))
+    }
+
+    /// Re-registers the output edge of `stage` at a larger producer count:
+    /// adds `n` writer slots to every consumer queue, so endpoints handed
+    /// out by [`ExchangeRegistry::writer`] for the new tasks contribute to
+    /// the same edge. Routing is DOP-stable — hash/round-robin partitioning
+    /// depends only on the (unchanged) consumer count — so grown producers
+    /// need no repartitioning.
+    ///
+    /// The caller must hold an unfinished writer on the edge (the
+    /// controller's lease): adding producers to an edge whose consumers
+    /// already saw the end page would lose every page the new tasks push.
+    pub fn add_producers(&self, stage: u32, n: u32) -> Result<()> {
+        let edge = self.edge(stage)?;
+        for q in &edge.queues {
+            q.add_writers(n);
+        }
+        Ok(())
+    }
+
+    /// Producer slots of `stage`'s output edge that have not finished yet
+    /// (including a held writer lease). The elasticity controller polls
+    /// this to detect a stage whose tasks all ended early — e.g. every
+    /// task's LIMIT was satisfied mid-scan — with splits still unclaimed:
+    /// once only the lease remains, nothing will ever claim again and the
+    /// stage must be finished.
+    pub fn producers_remaining(&self, stage: u32) -> Result<u32> {
+        let edge = self.edge(stage)?;
+        Ok(edge.queues.iter().map(|q| q.writers()).max().unwrap_or(0))
     }
 
     /// Fails every buffer of every edge with `err` (first poison wins),
@@ -547,6 +591,52 @@ mod tests {
         }
         let mut reader = r.reader(1, 0, None).unwrap();
         assert_eq!(drain(reader.as_mut()), vec![5]);
+    }
+
+    #[test]
+    fn producers_added_mid_stream_extend_the_edge() {
+        let r = registry();
+        // One initial producer plus the controller's writer lease.
+        r.register(1, 2, RoutePolicy::Single, 1).unwrap();
+        let mut w0 = r.writer(1, 0, None).unwrap();
+        let mut lease = r.writer(1, u32::MAX, None).unwrap();
+        w0.push(page(vec![1])).unwrap();
+        // The old task retires between splits (EndSignal direction).
+        w0.push(Page::end(EndReason::EndSignal)).unwrap();
+        // Grow: two new producers join the live edge and take over the
+        // remaining splits.
+        r.add_producers(1, 2).unwrap();
+        let mut w1 = r.writer(1, 1, None).unwrap();
+        let mut w2 = r.writer(1, 2, None).unwrap();
+        w1.push(page(vec![2])).unwrap();
+        w2.push(page(vec![3])).unwrap();
+        w1.push(Page::end(EndReason::ScanExhausted)).unwrap();
+        w2.push(Page::end(EndReason::ScanExhausted)).unwrap();
+        // Only once the lease is released does the edge end.
+        lease.push(Page::end(EndReason::UpstreamFinished)).unwrap();
+        let mut reader = r.reader(1, 0, None).unwrap();
+        let mut got = drain(reader.as_mut());
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3], "no page lost or duplicated");
+    }
+
+    #[test]
+    fn lease_holds_edge_open_while_producers_finish() {
+        let r = registry();
+        // One real producer + one lease slot.
+        r.register(1, 2, RoutePolicy::Single, 1).unwrap();
+        {
+            let mut w = r.writer(1, 0, None).unwrap();
+            w.push(page(vec![9])).unwrap();
+            w.push(Page::end(EndReason::ScanExhausted)).unwrap();
+        }
+        let lease = r.writer(1, 1, None).unwrap();
+        // All real producers are done, but the lease keeps the edge open:
+        // the buffered page is readable, and no end page follows yet.
+        let mut reader = r.reader(1, 0, None).unwrap();
+        assert_eq!(reader.pull().unwrap().row_count(), 1);
+        drop(lease); // drop guard finishes the lease's slot
+        assert!(reader.pull().unwrap().is_end());
     }
 
     #[test]

@@ -30,6 +30,34 @@ pub enum StageKind {
     Intermediate,
 }
 
+/// Runtime DOP bounds of an elastic Source stage: the range the elasticity
+/// controller may retune the stage's task count within (paper §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DopBounds {
+    pub min: u32,
+    pub max: u32,
+}
+
+impl DopBounds {
+    pub fn new(min: u32, max: u32) -> Self {
+        let min = min.max(1);
+        DopBounds {
+            min,
+            max: max.max(min),
+        }
+    }
+
+    /// Clamps a candidate DOP into the bounds.
+    pub fn clamp(&self, dop: u32) -> u32 {
+        dop.clamp(self.min, self.max)
+    }
+}
+
+/// Largest default runtime DOP for elastic stages whose planned parallelism
+/// is smaller (the controller may still be handed wider bounds explicitly
+/// via [`StageTree::set_elastic_bounds`]).
+pub const DEFAULT_MAX_ELASTIC_DOP: u32 = 8;
+
 /// One stage: a connected piece of the physical plan between exchanges.
 #[derive(Debug, Clone)]
 pub struct PlanFragment {
@@ -45,6 +73,11 @@ pub struct PlanFragment {
     /// How this stage's tasks partition their output for the parent stage
     /// (`Single` for the root: the coordinator reads one result stream).
     pub output_partitioning: Partitioning,
+    /// Runtime DOP bounds when this stage is eligible for intra-query
+    /// re-parallelization: a Source stage scanning exactly one table with no
+    /// child exchanges (so a task set can grow or shrink between splits
+    /// without replaying remote inputs). `None` pins the planned DOP.
+    pub elastic_bounds: Option<DopBounds>,
 }
 
 impl PlanFragment {
@@ -104,6 +137,23 @@ impl StageTree {
         &self.fragments
     }
 
+    /// Overrides the runtime DOP bounds of an elastic stage (e.g. to widen
+    /// or pin the range the elasticity controller may use). Errors when the
+    /// stage is unknown or not elastic-eligible.
+    pub fn set_elastic_bounds(&mut self, stage: StageId, bounds: DopBounds) -> Result<()> {
+        let f = self
+            .fragments
+            .get_mut(stage.0 as usize)
+            .ok_or_else(|| AccordionError::Plan(format!("unknown stage {stage}")))?;
+        if f.elastic_bounds.is_none() {
+            return Err(AccordionError::Plan(format!(
+                "stage {stage} is not elastic-eligible"
+            )));
+        }
+        f.elastic_bounds = Some(bounds);
+        Ok(())
+    }
+
     pub fn len(&self) -> usize {
         self.fragments.len()
     }
@@ -126,9 +176,13 @@ impl StageTree {
     pub fn display(&self) -> String {
         let mut out = String::new();
         for f in &self.fragments {
+            let elastic = match f.elastic_bounds {
+                Some(b) => format!(" elastic[{}..={}]", b.min, b.max),
+                None => String::new(),
+            };
             out.push_str(&format!(
-                "Stage {} [{:?}] x{} → {}\n",
-                f.stage.0, f.kind, f.parallelism, f.output_partitioning
+                "Stage {} [{:?}] x{}{} → {}\n",
+                f.stage.0, f.kind, f.parallelism, elastic, f.output_partitioning
             ));
             for line in f.root.display().lines() {
                 out.push_str(&format!("  {line}\n"));
@@ -166,13 +220,23 @@ impl Cutter {
         } else {
             StageKind::Intermediate
         };
+        // A stage is runtime-elastic when growing/shrinking its task set
+        // between splits cannot lose or duplicate work: it scans exactly one
+        // table (so the unconsumed SplitSet remainder is a single queue) and
+        // has no child exchanges (whose buffers a late-spawned task could
+        // not replay).
+        let parallelism = parallelism.max(1);
+        let elastic_bounds =
+            (kind == StageKind::Source && child_stages.is_empty() && stripped.scan_count() == 1)
+                .then(|| DopBounds::new(1, parallelism.max(DEFAULT_MAX_ELASTIC_DOP)));
         self.fragments.push(PlanFragment {
             stage,
             root: stripped,
-            parallelism: parallelism.max(1),
+            parallelism,
             kind,
             child_stages,
             output_partitioning,
+            elastic_bounds,
         });
         Ok(())
     }

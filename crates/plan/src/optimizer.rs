@@ -8,10 +8,13 @@
 //!   stage where parallelism is elastic.
 //! * **Two-stage aggregation** — every `Aggregate` becomes a
 //!   [`PhysicalNode::PartialAggregate`] at the scan stage's parallelism, a
-//!   gather [`PhysicalNode::Exchange`], a [`PhysicalNode::LocalExchange`]
-//!   and a [`PhysicalNode::FinalAggregate`] at parallelism 1 (paper §4.1:
-//!   partial-aggregate state is reconstructible, so the scan-side stage can
-//!   grow/shrink mid-query while the final stage stays fixed).
+//!   [`PhysicalNode::Exchange`] hash-partitioned on the group keys across
+//!   `merge_parallelism` merge tasks (gathering instead for global
+//!   aggregates or `merge_parallelism == 1`), a
+//!   [`PhysicalNode::LocalExchange`] and a [`PhysicalNode::FinalAggregate`]
+//!   (paper §4.1: partial-aggregate state is reconstructible, so the
+//!   scan-side stage can grow/shrink mid-query while the final stages stay
+//!   fixed).
 //! * **TopN / Limit splitting** — each distributed task keeps its local
 //!   top-N (or first-N) rows, and a single final task merges them.
 //! * **Physical lowering** with explicit exchanges: the plan that leaves
@@ -31,9 +34,14 @@ use crate::physical::{Partitioning, PhysicalNode};
 /// tests can isolate a single rewrite.
 #[derive(Debug, Clone)]
 pub struct OptimizerConfig {
-    /// Parallelism (task count) of source stages — the stages a later PR
-    /// makes elastic at runtime.
+    /// Parallelism (task count) of source stages — the stages the cluster
+    /// elasticity controller retunes at runtime.
     pub scan_parallelism: u32,
+    /// Parallelism of the final-aggregate merge stage. When > 1 (and the
+    /// aggregation has group keys), the partial→final exchange routes by
+    /// `Partitioning::Hash{group keys}` across that many merge tasks instead
+    /// of gathering to a single task; global aggregates always gather.
+    pub merge_parallelism: u32,
     /// Enables filter pushdown through projections and aggregations.
     pub predicate_pushdown: bool,
     /// Splits aggregations into partial/final phases across an exchange.
@@ -48,6 +56,7 @@ impl Default for OptimizerConfig {
     fn default() -> Self {
         OptimizerConfig {
             scan_parallelism: 4,
+            merge_parallelism: 2,
             predicate_pushdown: true,
             two_stage_aggregation: true,
             topn_pushdown: true,
@@ -61,6 +70,7 @@ impl OptimizerConfig {
     pub fn serial() -> Self {
         OptimizerConfig {
             scan_parallelism: 1,
+            merge_parallelism: 1,
             ..OptimizerConfig::default()
         }
     }
@@ -68,6 +78,12 @@ impl OptimizerConfig {
     pub fn with_parallelism(mut self, dop: u32) -> Self {
         assert!(dop > 0, "parallelism must be positive");
         self.scan_parallelism = dop;
+        self
+    }
+
+    pub fn with_merge_parallelism(mut self, dop: u32) -> Self {
+        assert!(dop > 0, "parallelism must be positive");
+        self.merge_parallelism = dop;
         self
     }
 }
@@ -89,11 +105,17 @@ impl Optimizer {
 
     /// Runs logical rewrites, then lowers to a physical plan whose root
     /// always produces a single output partition (the coordinator's result).
+    ///
+    /// Plan **structure** is DOP-independent: even at planned parallelism 1
+    /// the scan side is cut into its own Source stage (and TopN/Limit keep
+    /// their local/final split), so the runtime elasticity controller can
+    /// grow a stage planned at DOP 1 without changing what any operator
+    /// computes — parallelism is a runtime property, not a plan property.
     pub fn optimize(&self, plan: &LogicalPlan) -> Result<Arc<PhysicalNode>> {
         plan.validate()?;
         let rewritten = self.rewrite_logical(plan);
         let (root, parallelism) = self.lower(&rewritten)?;
-        Ok(if parallelism > 1 {
+        Ok(if parallelism > 1 || root_stage_contains_scan(&root) {
             Arc::new(PhysicalNode::Exchange {
                 input: root,
                 partitioning: Partitioning::Single,
@@ -157,9 +179,28 @@ impl Optimizer {
                 aggs,
             } => {
                 let (child, dist) = self.lower(input)?;
-                let node = if self.config.two_stage_aggregation {
-                    // partial (parallel) → gather exchange → local exchange
-                    // → final (parallelism 1).
+                if self.config.two_stage_aggregation {
+                    // partial (parallel) → partitioned exchange → local
+                    // exchange → final. With group keys and
+                    // `merge_parallelism > 1` the exchange hash-partitions
+                    // the partial states on the group-key columns (the first
+                    // `group_by.len()` columns of the partial output), so
+                    // every row of one group lands in the same merge task
+                    // and the final phase runs distributed. Global
+                    // aggregates have nothing to hash on and gather.
+                    let merge_dop = if group_by.is_empty() {
+                        1
+                    } else {
+                        self.config.merge_parallelism.max(1)
+                    };
+                    let partitioning = if merge_dop > 1 {
+                        Partitioning::Hash {
+                            keys: (0..group_by.len()).collect(),
+                            partitions: merge_dop,
+                        }
+                    } else {
+                        Partitioning::Single
+                    };
                     let partial = Arc::new(PhysicalNode::PartialAggregate {
                         input: child,
                         group_by: group_by.clone(),
@@ -167,18 +208,19 @@ impl Optimizer {
                     });
                     let exchange = Arc::new(PhysicalNode::Exchange {
                         input: partial,
-                        partitioning: Partitioning::Single,
+                        partitioning,
                         input_parallelism: dist,
                     });
                     let local = Arc::new(PhysicalNode::LocalExchange {
                         input: exchange,
                         partitioning: Partitioning::Single,
                     });
-                    Arc::new(PhysicalNode::FinalAggregate {
+                    let node = Arc::new(PhysicalNode::FinalAggregate {
                         input: local,
                         group_count: group_by.len(),
                         aggs: aggs.clone(),
-                    })
+                    });
+                    (node, merge_dop)
                 } else {
                     // Gather raw rows, then run both phases back-to-back.
                     let gathered = gather_if_distributed(child, dist);
@@ -187,13 +229,13 @@ impl Optimizer {
                         group_by: group_by.clone(),
                         aggs: aggs.clone(),
                     });
-                    Arc::new(PhysicalNode::FinalAggregate {
+                    let node = Arc::new(PhysicalNode::FinalAggregate {
                         input: partial,
                         group_count: group_by.len(),
                         aggs: aggs.clone(),
-                    })
-                };
-                (node, 1)
+                    });
+                    (node, 1)
+                }
             }
             LogicalPlan::Join {
                 left,
@@ -204,8 +246,14 @@ impl Optimizer {
                 let (probe, probe_dist) = self.lower(left)?;
                 let (build, build_dist) = self.lower(right)?;
                 // Broadcast join: the build side is gathered into a single
-                // partition which every probe task reads in full.
-                let build = gather_if_distributed(build, build_dist);
+                // partition which every probe task reads in full. Always a
+                // stage boundary (even at build dist 1), so the build scan
+                // stays independently elastic at runtime.
+                let build = Arc::new(PhysicalNode::Exchange {
+                    input: build,
+                    partitioning: Partitioning::Single,
+                    input_parallelism: build_dist,
+                });
                 (
                     Arc::new(PhysicalNode::HashJoin {
                         probe,
@@ -217,75 +265,71 @@ impl Optimizer {
                 )
             }
             LogicalPlan::TopN { input, keys, n } => {
+                // Always the local/final split, even at dist 1: each task
+                // keeps its local top-N and a single final task merges —
+                // the structure stays correct when the elasticity
+                // controller grows the producing stage mid-query.
                 let (child, dist) = self.lower(input)?;
-                if dist > 1 {
-                    let inner: Arc<PhysicalNode> = if self.config.topn_pushdown {
-                        Arc::new(PhysicalNode::TopN {
-                            input: child,
-                            keys: keys.clone(),
-                            n: *n,
-                        })
-                    } else {
-                        child
-                    };
-                    let exchange = Arc::new(PhysicalNode::Exchange {
-                        input: inner,
-                        partitioning: Partitioning::Single,
-                        input_parallelism: dist,
-                    });
-                    (
-                        Arc::new(PhysicalNode::TopN {
-                            input: exchange,
-                            keys: keys.clone(),
-                            n: *n,
-                        }),
-                        1,
-                    )
+                let inner: Arc<PhysicalNode> = if self.config.topn_pushdown {
+                    Arc::new(PhysicalNode::TopN {
+                        input: child,
+                        keys: keys.clone(),
+                        n: *n,
+                    })
                 } else {
-                    (
-                        Arc::new(PhysicalNode::TopN {
-                            input: child,
-                            keys: keys.clone(),
-                            n: *n,
-                        }),
-                        dist,
-                    )
-                }
+                    child
+                };
+                let exchange = Arc::new(PhysicalNode::Exchange {
+                    input: inner,
+                    partitioning: Partitioning::Single,
+                    input_parallelism: dist,
+                });
+                (
+                    Arc::new(PhysicalNode::TopN {
+                        input: exchange,
+                        keys: keys.clone(),
+                        n: *n,
+                    }),
+                    1,
+                )
             }
             LogicalPlan::Limit { input, n } => {
+                // Like TopN: always split, so a grown task set's per-task
+                // first-N rows still merge to an exact global LIMIT.
                 let (child, dist) = self.lower(input)?;
-                if dist > 1 {
-                    let inner: Arc<PhysicalNode> = if self.config.topn_pushdown {
-                        Arc::new(PhysicalNode::Limit {
-                            input: child,
-                            n: *n,
-                        })
-                    } else {
-                        child
-                    };
-                    let exchange = Arc::new(PhysicalNode::Exchange {
-                        input: inner,
-                        partitioning: Partitioning::Single,
-                        input_parallelism: dist,
-                    });
-                    (
-                        Arc::new(PhysicalNode::Limit {
-                            input: exchange,
-                            n: *n,
-                        }),
-                        1,
-                    )
+                let inner: Arc<PhysicalNode> = if self.config.topn_pushdown {
+                    Arc::new(PhysicalNode::Limit {
+                        input: child,
+                        n: *n,
+                    })
                 } else {
-                    (
-                        Arc::new(PhysicalNode::Limit {
-                            input: child,
-                            n: *n,
-                        }),
-                        dist,
-                    )
-                }
+                    child
+                };
+                let exchange = Arc::new(PhysicalNode::Exchange {
+                    input: inner,
+                    partitioning: Partitioning::Single,
+                    input_parallelism: dist,
+                });
+                (
+                    Arc::new(PhysicalNode::Limit {
+                        input: exchange,
+                        n: *n,
+                    }),
+                    1,
+                )
             }
         })
+    }
+}
+
+/// True when the root-stage slice of `node` (the subtree above any
+/// `Exchange`) still contains a `TableScan` — fragmenting such a plan would
+/// put a scan in the output stage, denying it runtime elasticity.
+fn root_stage_contains_scan(node: &PhysicalNode) -> bool {
+    match node {
+        PhysicalNode::Exchange { .. } => false,
+        PhysicalNode::TableScan { .. } => true,
+        other => other.children().iter().any(|c| root_stage_contains_scan(c)),
     }
 }
 
@@ -559,10 +603,93 @@ mod tests {
     }
 
     #[test]
-    fn serial_plan_has_no_exchange() {
+    fn serial_plan_still_cuts_the_source_stage() {
+        // Even at planned DOP 1 the scan sits below a gather exchange: the
+        // Source stage must exist as a unit of runtime re-parallelization,
+        // whatever parallelism it was planned at.
         let opt = Optimizer::new(OptimizerConfig::serial());
         let phys = opt.optimize(&scan()).unwrap();
-        assert!(matches!(phys.as_ref(), PhysicalNode::TableScan { .. }));
+        match phys.as_ref() {
+            PhysicalNode::Exchange {
+                input,
+                partitioning,
+                input_parallelism,
+            } => {
+                assert_eq!(*partitioning, Partitioning::Single);
+                assert_eq!(*input_parallelism, 1);
+                assert!(matches!(input.as_ref(), PhysicalNode::TableScan { .. }));
+            }
+            other => panic!("expected gather Exchange at root, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn grouped_aggregate_merges_via_hash_partitioning() {
+        let opt = Optimizer::new(
+            OptimizerConfig::default()
+                .with_parallelism(4)
+                .with_merge_parallelism(3),
+        );
+        let agg = LogicalPlan::Aggregate {
+            input: scan(),
+            group_by: vec![1],
+            aggs: vec![AggSpec::new(
+                AggKind::Sum,
+                Expr::col(0),
+                DataType::Int64,
+                "s",
+            )],
+        };
+        let phys = opt.optimize(&agg).unwrap();
+        // Root gathers the 3 merge tasks; below it the partial→final
+        // exchange hash-partitions on the group-key column.
+        let mut hash_exchanges = Vec::new();
+        phys.visit(&mut |n| {
+            if let PhysicalNode::Exchange {
+                partitioning: Partitioning::Hash { keys, partitions },
+                ..
+            } = n
+            {
+                hash_exchanges.push((keys.clone(), *partitions));
+            }
+        });
+        assert_eq!(hash_exchanges, vec![(vec![0], 3)]);
+        match phys.as_ref() {
+            PhysicalNode::Exchange {
+                partitioning,
+                input_parallelism,
+                ..
+            } => {
+                assert_eq!(*partitioning, Partitioning::Single);
+                assert_eq!(*input_parallelism, 3, "root gathers the merge tasks");
+            }
+            other => panic!("expected gather Exchange at root, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn global_aggregate_still_gathers() {
+        let opt = Optimizer::new(OptimizerConfig::default().with_parallelism(4));
+        let agg = LogicalPlan::Aggregate {
+            input: scan(),
+            group_by: vec![],
+            aggs: vec![AggSpec::new(
+                AggKind::Sum,
+                Expr::col(0),
+                DataType::Int64,
+                "s",
+            )],
+        };
+        let phys = opt.optimize(&agg).unwrap();
+        phys.visit(&mut |n| {
+            if let PhysicalNode::Exchange { partitioning, .. } = n {
+                assert_eq!(
+                    *partitioning,
+                    Partitioning::Single,
+                    "no group keys to hash on"
+                );
+            }
+        });
     }
 
     #[test]

@@ -255,13 +255,32 @@ impl PhysicalNode {
 
     /// True if the subtree contains a [`PhysicalNode::TableScan`].
     pub fn contains_scan(&self) -> bool {
-        let mut found = false;
-        self.visit(&mut |n| {
-            if matches!(n, PhysicalNode::TableScan { .. }) {
-                found = true;
+        self.scan_count() > 0
+    }
+
+    /// Number of [`PhysicalNode::TableScan`] leaves in the subtree (elastic
+    /// eligibility: a stage feeding from one split queue has exactly one).
+    pub fn scan_count(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |node| {
+            if matches!(node, PhysicalNode::TableScan { .. }) {
+                n += 1;
             }
         });
-        found
+        n
+    }
+
+    /// Names of the tables scanned in the subtree, in visit order. An
+    /// elastic Source stage has exactly one — the table whose `SplitSet`
+    /// backs the stage's shared split queue.
+    pub fn scan_tables(&self) -> Vec<String> {
+        let mut tables = Vec::new();
+        self.visit(&mut |node| {
+            if let PhysicalNode::TableScan { table, .. } = node {
+                tables.push(table.clone());
+            }
+        });
+        tables
     }
 
     /// One-word operator name (display / test assertions).

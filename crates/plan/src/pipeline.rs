@@ -332,6 +332,7 @@ mod tests {
             kind: StageKind::Output,
             child_stages: vec![],
             output_partitioning: Partitioning::Single,
+            elastic_bounds: None,
         }
     }
 

@@ -9,7 +9,7 @@ use accordion_data::schema::{Field, Schema};
 use accordion_data::types::{DataType, Value};
 use accordion_expr::agg::AggKind;
 use accordion_expr::scalar::Expr;
-use accordion_plan::fragment::{StageKind, StageTree};
+use accordion_plan::fragment::{DopBounds, StageKind, StageTree};
 use accordion_plan::optimizer::{Optimizer, OptimizerConfig};
 use accordion_plan::physical::{Partitioning, PhysicalNode, SourceRole};
 use accordion_plan::pipeline::split_pipelines;
@@ -50,14 +50,22 @@ fn agg_sort_tree(dop: u32) -> StageTree {
 }
 
 #[test]
-fn two_stage_agg_has_parallel_partial_and_serial_final() {
+fn two_stage_agg_has_parallel_partial_and_hash_partitioned_final() {
     let tree = agg_sort_tree(5);
-    assert_eq!(tree.len(), 2);
+    assert_eq!(tree.len(), 3, "scan stage, hash merge stage, output stage");
 
-    let source = tree.fragment(StageId(1)).unwrap();
+    let source = tree.fragment(StageId(2)).unwrap();
     assert_eq!(source.kind, StageKind::Source);
     assert_eq!(source.parallelism, 5, "partial phase keeps the scan DOP");
-    assert_eq!(source.output_partitioning, Partitioning::Single);
+    // The partial→final exchange hash-partitions the group key across the
+    // merge tasks instead of gathering to a single task.
+    assert_eq!(
+        source.output_partitioning,
+        Partitioning::Hash {
+            keys: vec![0],
+            partitions: 2
+        }
+    );
     // Source fragment shape: PartialAggregate over Filter over TableScan.
     let mut names = Vec::new();
     source.root.visit(&mut |n| names.push(n.name()));
@@ -68,25 +76,40 @@ fn two_stage_agg_has_parallel_partial_and_serial_final() {
     assert_eq!(partial_schema.field(0).name, "k");
     assert_eq!(partial_schema.field(1).data_type, DataType::Int64);
 
-    let output = tree.root();
-    assert_eq!(output.kind, StageKind::Output);
-    assert_eq!(output.parallelism, 1, "final phase runs at parallelism 1");
+    let merge = tree.fragment(StageId(1)).unwrap();
+    assert_eq!(merge.kind, StageKind::Intermediate);
+    assert_eq!(merge.parallelism, 2, "final phase runs distributed");
     let mut names = Vec::new();
-    output.root.visit(&mut |n| names.push(n.name()));
+    merge.root.visit(&mut |n| names.push(n.name()));
     assert_eq!(
         names,
-        vec!["TopN", "FinalAggregate", "LocalExchange", "RemoteSource"]
+        vec!["TopN", "FinalAggregate", "LocalExchange", "RemoteSource"],
+        "per-task TopN pushed into the merge stage"
     );
+
+    let output = tree.root();
+    assert_eq!(output.kind, StageKind::Output);
+    assert_eq!(output.parallelism, 1);
+    let mut names = Vec::new();
+    output.root.visit(&mut |n| names.push(n.name()));
+    assert_eq!(names, vec!["TopN", "RemoteSource"]);
 }
 
 #[test]
 fn fragment_cutting_yields_expected_stage_tree_shape() {
     let tree = agg_sort_tree(3);
-    // Exactly one cut: stage 0 (output) fed by stage 1 (source).
-    assert_eq!(tree.len(), 2);
+    // Two cuts: output ← merge ← source, a chain of single-child stages.
+    assert_eq!(tree.len(), 3);
     assert_eq!(tree.root().child_stages, vec![StageId(1)]);
-    assert!(tree.fragment(StageId(1)).unwrap().child_stages.is_empty());
-    assert_eq!(tree.execution_order(), vec![StageId(1), StageId(0)]);
+    assert_eq!(
+        tree.fragment(StageId(1)).unwrap().child_stages,
+        vec![StageId(2)]
+    );
+    assert!(tree.fragment(StageId(2)).unwrap().child_stages.is_empty());
+    assert_eq!(
+        tree.execution_order(),
+        vec![StageId(2), StageId(1), StageId(0)]
+    );
     // The final stage's query-facing schema: group key + SUM output.
     let schema = tree.root().schema();
     assert_eq!(schema.field(0).name, "k");
@@ -96,35 +119,41 @@ fn fragment_cutting_yields_expected_stage_tree_shape() {
     let text = tree.display();
     assert!(text.contains("Stage 0"));
     assert!(text.contains("Stage 1"));
+    assert!(text.contains("Stage 2"));
 }
 
 #[test]
 fn pipeline_splitting_breaks_at_local_exchange() {
     let tree = agg_sort_tree(4);
 
-    // Output stage: the local exchange splits it into the two pipelines of
+    // Merge stage: the local exchange splits it into the two pipelines of
     // paper Fig 6 — exchange client feeding the local exchange, and the
     // final-aggregation pipeline draining it.
-    let output_pipelines = split_pipelines(tree.root()).unwrap();
-    assert_eq!(output_pipelines.len(), 2);
+    let merge_pipelines = split_pipelines(tree.fragment(StageId(1)).unwrap()).unwrap();
+    assert_eq!(merge_pipelines.len(), 2);
     assert_eq!(
-        output_pipelines[0].operator_names(),
+        merge_pipelines[0].operator_names(),
         vec!["ExchangeSource", "LocalSink"]
     );
     assert_eq!(
-        output_pipelines[1].operator_names(),
+        merge_pipelines[1].operator_names(),
         vec!["LocalSource", "FinalAggregate", "TopN", "Output"]
     );
+    assert_eq!(merge_pipelines[0].source_role(), SourceRole::RemoteExchange);
+    assert_eq!(merge_pipelines[1].source_role(), SourceRole::LocalExchange);
+    assert!(merge_pipelines[1].is_output());
+    assert!(!merge_pipelines[0].is_output());
+
+    // Output stage: one streaming pipeline merging the distributed TopNs.
+    let output_pipelines = split_pipelines(tree.root()).unwrap();
+    assert_eq!(output_pipelines.len(), 1);
     assert_eq!(
-        output_pipelines[0].source_role(),
-        SourceRole::RemoteExchange
+        output_pipelines[0].operator_names(),
+        vec!["ExchangeSource", "TopN", "Output"]
     );
-    assert_eq!(output_pipelines[1].source_role(), SourceRole::LocalExchange);
-    assert!(output_pipelines[1].is_output());
-    assert!(!output_pipelines[0].is_output());
 
     // Source stage: one streaming pipeline, no breakers.
-    let source_pipelines = split_pipelines(tree.fragment(StageId(1)).unwrap()).unwrap();
+    let source_pipelines = split_pipelines(tree.fragment(StageId(2)).unwrap()).unwrap();
     assert_eq!(source_pipelines.len(), 1);
     assert_eq!(
         source_pipelines[0].operator_names(),
@@ -135,11 +164,63 @@ fn pipeline_splitting_breaks_at_local_exchange() {
 
 #[test]
 fn serial_aggregation_still_splits_stages() {
-    // Even at DOP 1 the two-phase rewrite keeps partial and final in
-    // separate stages — the boundary later PRs re-parallelize at runtime.
+    // Even at scan DOP 1 the two-phase rewrite keeps partial and final in
+    // separate stages — the boundary the runtime controller re-parallelizes.
     let tree = agg_sort_tree(1);
-    assert_eq!(tree.len(), 2);
-    assert_eq!(tree.fragment(StageId(1)).unwrap().parallelism, 1);
+    assert_eq!(tree.len(), 3);
+    assert_eq!(tree.fragment(StageId(2)).unwrap().parallelism, 1);
+}
+
+#[test]
+fn single_scan_source_stages_are_elastic_eligible() {
+    let tree = agg_sort_tree(4);
+    // The scan-side stage gets runtime DOP bounds; the merge and output
+    // stages (no scans / stage 0) stay pinned.
+    let source = tree.fragment(StageId(2)).unwrap();
+    assert_eq!(source.elastic_bounds, Some(DopBounds::new(1, 8)));
+    assert_eq!(tree.fragment(StageId(1)).unwrap().elastic_bounds, None);
+    assert_eq!(tree.root().elastic_bounds, None);
+    // Bounds never shrink below the planned DOP.
+    let wide = agg_sort_tree(16);
+    let source = wide.fragment(StageId(2)).unwrap();
+    assert_eq!(source.elastic_bounds, Some(DopBounds::new(1, 16)));
+    // Bounds are overridable (and rejected on non-eligible stages).
+    let mut tree = agg_sort_tree(4);
+    tree.set_elastic_bounds(StageId(2), DopBounds::new(2, 4))
+        .unwrap();
+    assert_eq!(
+        tree.fragment(StageId(2)).unwrap().elastic_bounds,
+        Some(DopBounds::new(2, 4))
+    );
+    assert!(tree
+        .set_elastic_bounds(StageId(0), DopBounds::new(1, 2))
+        .is_err());
+}
+
+#[test]
+fn broadcast_probe_stage_is_not_elastic_eligible() {
+    // A probe-side Source stage reads the build side through a child
+    // exchange; a task spawned mid-query could not replay that buffer, so
+    // the stage must not advertise elasticity.
+    let c = catalog();
+    let schema = Schema::shared(vec![
+        Field::new("k2", DataType::Utf8),
+        Field::new("w", DataType::Int64),
+    ]);
+    let mut b = TableBuilder::new("dim2", schema, 8);
+    b.push_row(vec![Value::Utf8("g0".into()), Value::Int64(1)]);
+    b.register(&c, PartitioningScheme::new(2, 1), 0);
+
+    let fact = LogicalPlanBuilder::scan(&c, "t").unwrap();
+    let dim = LogicalPlanBuilder::scan(&c, "dim2").unwrap();
+    let logical = fact.join(dim, &[("k", "k2")]).unwrap().build();
+    let optimizer = Optimizer::new(OptimizerConfig::default().with_parallelism(3));
+    let tree = StageTree::build(optimizer.optimize(&logical).unwrap()).unwrap();
+    let probe = tree.fragment(StageId(1)).unwrap();
+    assert_eq!(probe.kind, StageKind::Source);
+    assert_eq!(probe.elastic_bounds, None, "probe reads a child exchange");
+    // The gathered build-side scan stage is itself elastic.
+    assert!(tree.fragment(StageId(2)).unwrap().elastic_bounds.is_some());
 }
 
 #[test]

@@ -8,6 +8,7 @@
 //! ```
 
 use accordion::cluster::QueryExecutor;
+use accordion::common::ElasticityConfig;
 use accordion::data::schema::{Field, Schema};
 use accordion::data::types::{DataType, Value};
 use accordion::exec::ExecOptions;
@@ -96,5 +97,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.exchange.bytes,
         stats.exchange.grow_events,
     );
+
+    // Intra-query runtime elasticity (paper Fig 13): run the same tree
+    // again with the controller forcing a mid-query grow of the Source
+    // stage — identical result, retune applied between splits.
+    let elastic =
+        QueryExecutor::new(ExecOptions::default().elasticity(ElasticityConfig::forced(8)));
+    let regrown = elastic.execute_tree(&catalog, &tree)?;
+    assert_eq!(regrown.row_count(), result.row_count());
+    println!("\n=== runtime elasticity (forced grow) ===");
+    for r in &regrown.stats().retunes {
+        println!(
+            "stage {}: DOP {} → {} after {} splits (predicted {:.3}s remaining)",
+            r.stage, r.from_dop, r.to_dop, r.splits_claimed, r.predicted_secs
+        );
+    }
+    for s in &regrown.stats().series {
+        println!(
+            "stage {}: {} runtime-info samples collected",
+            s.stage,
+            s.points.len()
+        );
+    }
     Ok(())
 }
