@@ -1,0 +1,211 @@
+//! `accordion-bench` — run the TPC-H benchmark matrix and emit
+//! `BENCH_<name>.json`.
+//!
+//! ```text
+//! accordion-bench [--sf 0.01] [--seed 42] [--queries all|q1,q6]
+//!     [--name local] [--out DIR] [--dops 1,4] [--workers 4]
+//!     [--modes off,forced-grow,auto] [--warmup 1] [--repeats 3]
+//!     [--page-rows 256] [--compare BASELINE.json] [--tolerance 0.2]
+//!     [--floor-ms 50] [--check FILE]
+//! ```
+//!
+//! `--check FILE` only validates an existing report against the schema and
+//! exits. Otherwise the matrix runs, the report is written (and validated),
+//! and — when `--compare` names a baseline — the candidate is gated
+//! against it: exact on deterministic counters, tolerance + absolute floor
+//! on wall-clock medians. Exit status is non-zero on any violation.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use accordion_bench::{compare, run, validate, BenchOptions};
+use accordion_common::Json;
+
+struct Cli {
+    opts: BenchOptions,
+    out_dir: PathBuf,
+    check: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    tolerance: f64,
+    floor_ms: f64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: accordion-bench [--sf F] [--seed N] [--queries all|q1,q3,q6,top_orders]\n\
+         \x20    [--name NAME] [--out DIR] [--dops LIST] [--workers LIST] [--modes LIST]\n\
+         \x20    [--warmup N] [--repeats N] [--page-rows N]\n\
+         \x20    [--compare BASELINE.json] [--tolerance F] [--floor-ms F] [--check FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_list<T: std::str::FromStr>(flag: &str, v: &str) -> Vec<T> {
+    v.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.trim().parse().unwrap_or_else(|_| {
+                eprintln!("accordion-bench: bad value '{s}' for {flag}");
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
+fn parse_args() -> Cli {
+    let mut cli = Cli {
+        opts: BenchOptions::default(),
+        out_dir: PathBuf::from("."),
+        check: None,
+        baseline: None,
+        tolerance: 0.2,
+        floor_ms: 50.0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "--help" || flag == "-h" {
+            usage();
+        }
+        let Some(value) = args.next() else {
+            eprintln!("accordion-bench: {flag} needs a value");
+            usage();
+        };
+        match flag.as_str() {
+            "--sf" => cli.opts.scale_factor = value.parse().unwrap_or_else(|_| usage()),
+            "--seed" => cli.opts.seed = value.parse().unwrap_or_else(|_| usage()),
+            "--name" => cli.opts.name = value,
+            "--out" => cli.out_dir = PathBuf::from(value),
+            "--queries" => {
+                cli.opts.queries = if value == "all" {
+                    Vec::new()
+                } else {
+                    parse_list("--queries", &value)
+                }
+            }
+            "--dops" => cli.opts.dops = parse_list("--dops", &value),
+            "--workers" => cli.opts.workers = parse_list("--workers", &value),
+            "--modes" => cli.opts.modes = parse_list("--modes", &value),
+            "--warmup" => cli.opts.warmup = value.parse().unwrap_or_else(|_| usage()),
+            "--repeats" => cli.opts.repeats = value.parse().unwrap_or_else(|_| usage()),
+            "--page-rows" => cli.opts.page_rows = value.parse().unwrap_or_else(|_| usage()),
+            "--compare" => cli.baseline = Some(PathBuf::from(value)),
+            "--tolerance" => cli.tolerance = value.parse().unwrap_or_else(|_| usage()),
+            "--floor-ms" => cli.floor_ms = value.parse().unwrap_or_else(|_| usage()),
+            "--check" => cli.check = Some(PathBuf::from(value)),
+            _ => {
+                eprintln!("accordion-bench: unknown flag {flag}");
+                usage();
+            }
+        }
+    }
+    if cli.opts.dops.is_empty() || cli.opts.workers.is_empty() || cli.opts.modes.is_empty() {
+        eprintln!("accordion-bench: --dops/--workers/--modes must be non-empty");
+        usage();
+    }
+    cli
+}
+
+fn load_json(path: &PathBuf) -> Result<Json, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    Json::parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let cli = parse_args();
+
+    // Validation-only mode.
+    if let Some(path) = &cli.check {
+        return match load_json(path) {
+            Err(e) => {
+                eprintln!("accordion-bench: {e}");
+                ExitCode::FAILURE
+            }
+            Ok(report) => {
+                let errs = validate(&report);
+                if errs.is_empty() {
+                    println!("{}: schema-valid", path.display());
+                    ExitCode::SUCCESS
+                } else {
+                    for e in &errs {
+                        eprintln!("{}: {e}", path.display());
+                    }
+                    ExitCode::FAILURE
+                }
+            }
+        };
+    }
+
+    let report = match run(&cli.opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("accordion-bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let errs = validate(&report);
+    if !errs.is_empty() {
+        // A report the harness itself emitted must always be schema-valid.
+        for e in &errs {
+            eprintln!("accordion-bench: emitted report invalid: {e}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let out_path = cli.out_dir.join(format!("BENCH_{}.json", cli.opts.name));
+    if let Err(e) = std::fs::create_dir_all(&cli.out_dir) {
+        eprintln!("accordion-bench: mkdir {}: {e}", cli.out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out_path, report.to_string_pretty()) {
+        eprintln!("accordion-bench: write {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", out_path.display());
+
+    // Headline summary to stdout: one line per query × cell.
+    if let Some(queries) = report.get("queries").and_then(Json::as_arr) {
+        for q in queries {
+            let name = q.get("query").and_then(Json::as_str).unwrap_or("?");
+            let rows = q.get("rows").and_then(Json::as_u64).unwrap_or(0);
+            for cell in q.get("cells").and_then(Json::as_arr).into_iter().flatten() {
+                let dop = cell.get("dop").and_then(Json::as_u64).unwrap_or(0);
+                let workers = cell.get("workers").and_then(Json::as_u64).unwrap_or(0);
+                let mode = cell.get("mode").and_then(Json::as_str).unwrap_or("?");
+                let wall = cell
+                    .get("wall_ms_median")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0);
+                let retunes = cell.get("retunes").and_then(Json::as_u64).unwrap_or(0);
+                println!(
+                    "{name:>10}  dop={dop} workers={workers} mode={mode:<12} \
+                     {wall:>9.2} ms  rows={rows} retunes={retunes}"
+                );
+            }
+        }
+    }
+
+    if let Some(baseline_path) = &cli.baseline {
+        let baseline = match load_json(baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("accordion-bench: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let issues = compare(&baseline, &report, cli.tolerance, cli.floor_ms);
+        if !issues.is_empty() {
+            for i in &issues {
+                eprintln!("regression vs {}: {i}", baseline_path.display());
+            }
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "no regressions vs {} (tolerance {:.0}%, floor {} ms)",
+            baseline_path.display(),
+            cli.tolerance * 100.0,
+            cli.floor_ms
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -91,7 +91,10 @@ impl WhatIfPredictor {
             return 0.0;
         }
         let combined = per_task_rate * f64::from(dop.max(1));
-        if combined <= 0.0 {
+        // A NaN or infinite rate (a meter sampled inside one clock tick can
+        // produce either) means "nothing usable measured": predict infinite
+        // remaining time rather than letting NaN poison the comparison chain.
+        if !combined.is_finite() || combined <= 0.0 {
             return f64::INFINITY;
         }
         remaining_rows as f64 / combined
@@ -120,16 +123,23 @@ impl WhatIfPredictor {
             };
         }
         let deadline_secs = deadline.as_secs_f64();
-        if per_task <= 0.0 || deadline_secs <= 0.0 {
-            // Nothing measured yet, or an unmeetable deadline: every
-            // prediction misses, so take the largest DOP in bounds.
+        // `per_task <= 0.0` is false for NaN, and `NaN as u32` is 0 — so an
+        // unguarded NaN rate would silently clamp to the *minimum* DOP, the
+        // exact opposite of the intended nothing-measured fallback. Treat
+        // every non-finite or non-positive input as "unmeetable" and take
+        // the largest DOP in bounds.
+        if !per_task.is_finite()
+            || per_task <= 0.0
+            || !deadline_secs.is_finite()
+            || deadline_secs <= 0.0
+        {
             return WhatIfChoice {
                 dop: bounds.max,
                 predicted_secs: Self::predict_secs(remaining_rows, per_task, bounds.max),
             };
         }
         let required = (remaining_rows as f64 / (per_task * deadline_secs)).ceil();
-        let dop = if required >= f64::from(bounds.max) {
+        let dop = if !required.is_finite() || required >= f64::from(bounds.max) {
             bounds.max
         } else {
             bounds.clamp(required as u32)
@@ -307,6 +317,14 @@ impl ElasticityController {
             ElasticityMode::Forced { target_dop } => (bounds.clamp(target_dop), 0.0),
             ElasticityMode::ForcedGrow => (bounds.clamp(dop.saturating_mul(2)), 0.0),
             ElasticityMode::ForcedShrink => (bounds.min, 0.0),
+            ElasticityMode::Cycle { high, low } => {
+                // Alternate between the two poles at every boundary: the
+                // stress schedule for repeated grow→shrink→grow within one
+                // query (exercises per-era rate baselines and exactly-once
+                // split claiming under churn).
+                let next = if dop >= bounds.clamp(high) { low } else { high };
+                (bounds.clamp(next), 0.0)
+            }
             ElasticityMode::Auto { deadline_ms } => {
                 // The predictor reads a fresh live sample taken at the
                 // decision boundary. Before any rows have flowed there is
@@ -330,39 +348,7 @@ impl ElasticityController {
             }
         };
 
-        if target > dop {
-            // Grow: extend the edge's producer set first, then spawn — a
-            // new task must never push into an edge that does not yet
-            // account for its writer.
-            let added = target - dop;
-            registry.add_producers(stage, added)?;
-            for _ in 0..added {
-                let slot = self.stages[i].next_slot;
-                self.stages[i].next_slot += 1;
-                self.stages[i].active.push(slot);
-                spawn(stage, slot)?;
-            }
-        } else if target < dop {
-            // Shrink: retire the most recently added slots; each retired
-            // task ends with `Page::End(EndSignal)` at its next claim.
-            for _ in 0..(dop - target) {
-                if let Some(slot) = self.stages[i].active.pop() {
-                    self.stages[i].queue.retire(slot);
-                }
-            }
-        }
-        if target != dop {
-            self.metrics.record_retune(RetuneEvent {
-                stage,
-                from_dop: dop,
-                to_dop: target,
-                splits_claimed: self.stages[i].queue.claimed(),
-                predicted_secs,
-            });
-            // New task set, new measurement era: the next decision must not
-            // divide a rate observed at the old DOP by the new one.
-            self.collector.reset_baseline(stage);
-        }
+        self.apply_retune(i, registry, spawn, target, predicted_secs)?;
 
         // Arm the next boundary — or, for one-shot forced schedules, go
         // passive: release the queue so claims never block again.
@@ -377,9 +363,69 @@ impl ElasticityController {
                 let step = self.config.decide_every_splits.max(1).max(claimed);
                 self.stages[i].queue.set_pause_after(Some(claimed + step));
             }
+            ElasticityMode::Cycle { .. } => {
+                // Fixed cadence: the cycle schedule wants *many* retunes per
+                // query, so every `decide_every_splits` claims is a boundary.
+                let claimed = self.stages[i].queue.claimed();
+                let step = self.config.decide_every_splits.max(1);
+                self.stages[i].queue.set_pause_after(Some(claimed + step));
+            }
             // One-shot forced schedules go passive after their decision.
             _ => self.stages[i].queue.release(),
         }
+        Ok(())
+    }
+
+    /// Applies a DOP change for stage `i` and — inseparably — records the
+    /// retune event and resets the stage's rate baseline. This is the *only*
+    /// code path that changes a stage's task set, so a new measurement era
+    /// begins on every DOP change: the next decision must not divide a rate
+    /// observed at the old DOP by the new one (mixing eras skews the
+    /// per-task rate by up to the grow/shrink ratio).
+    fn apply_retune(
+        &mut self,
+        i: usize,
+        registry: &ExchangeRegistry,
+        spawn: &mut dyn FnMut(u32, u32) -> Result<()>,
+        target: u32,
+        predicted_secs: f64,
+    ) -> Result<()> {
+        let (stage, dop) = {
+            let st = &self.stages[i];
+            (st.stage, st.dop())
+        };
+        if target == dop {
+            return Ok(());
+        }
+        if target > dop {
+            // Grow: extend the edge's producer set first, then spawn — a
+            // new task must never push into an edge that does not yet
+            // account for its writer.
+            let added = target - dop;
+            registry.add_producers(stage, added)?;
+            for _ in 0..added {
+                let slot = self.stages[i].next_slot;
+                self.stages[i].next_slot += 1;
+                self.stages[i].active.push(slot);
+                spawn(stage, slot)?;
+            }
+        } else {
+            // Shrink: retire the most recently added slots; each retired
+            // task ends with `Page::End(EndSignal)` at its next claim.
+            for _ in 0..(dop - target) {
+                if let Some(slot) = self.stages[i].active.pop() {
+                    self.stages[i].queue.retire(slot);
+                }
+            }
+        }
+        self.metrics.record_retune(RetuneEvent {
+            stage,
+            from_dop: dop,
+            to_dop: target,
+            splits_claimed: self.stages[i].queue.claimed(),
+            predicted_secs,
+        });
+        self.collector.reset_baseline(stage);
         Ok(())
     }
 }
@@ -425,5 +471,61 @@ mod tests {
         let c = WhatIfPredictor::choose_dop(1000, 0.0, 1, bounds(1, 4), Duration::from_secs(60));
         assert_eq!(c.dop, 4);
         assert_eq!(c.predicted_secs, f64::INFINITY);
+    }
+
+    #[test]
+    fn choose_dop_guards_nan_and_infinite_rates() {
+        // NaN passes a `<= 0.0` test and casts to u32 as 0 — before the
+        // guard, a NaN rate silently clamped to the *minimum* DOP. It must
+        // take the maximum, the nothing-measured fallback.
+        let c =
+            WhatIfPredictor::choose_dop(1000, f64::NAN, 2, bounds(1, 8), Duration::from_secs(10));
+        assert_eq!(c.dop, 8);
+        assert_eq!(c.predicted_secs, f64::INFINITY);
+        // An infinite measured rate (meter sampled within one clock tick)
+        // likewise has no extrapolation value.
+        let c = WhatIfPredictor::choose_dop(
+            1000,
+            f64::INFINITY,
+            2,
+            bounds(1, 8),
+            Duration::from_secs(10),
+        );
+        assert_eq!(c.dop, 8);
+        // Negative rates (a meter wrapped or was reset mid-window) too.
+        let c = WhatIfPredictor::choose_dop(1000, -50.0, 2, bounds(1, 8), Duration::from_secs(10));
+        assert_eq!(c.dop, 8);
+    }
+
+    #[test]
+    fn choose_dop_guards_degenerate_deadlines() {
+        // Zero deadline: unmeetable by any finite rate → max DOP.
+        let c = WhatIfPredictor::choose_dop(1000, 100.0, 2, bounds(1, 8), Duration::ZERO);
+        assert_eq!(c.dop, 8);
+        // Sub-sample-interval query: the whole scan finishes before the
+        // collector takes its first sample, so the rate reads 0.0 and
+        // remaining volume is tiny. Still deterministic: max DOP.
+        let c = WhatIfPredictor::choose_dop(3, 0.0, 1, bounds(1, 4), Duration::from_millis(1));
+        assert_eq!(c.dop, 4);
+        assert_eq!(c.predicted_secs, f64::INFINITY);
+        // And when the queue is already empty, no work remains: min DOP,
+        // zero predicted time, regardless of the rate's pathology.
+        let c = WhatIfPredictor::choose_dop(0, f64::NAN, 2, bounds(2, 8), Duration::ZERO);
+        assert_eq!(c.dop, 2);
+        assert_eq!(c.predicted_secs, 0.0);
+    }
+
+    #[test]
+    fn predict_secs_guards_non_finite_rates() {
+        assert_eq!(
+            WhatIfPredictor::predict_secs(10, f64::NAN, 4),
+            f64::INFINITY
+        );
+        assert_eq!(
+            WhatIfPredictor::predict_secs(10, f64::INFINITY, 4),
+            f64::INFINITY
+        );
+        assert_eq!(WhatIfPredictor::predict_secs(10, -1.0, 4), f64::INFINITY);
+        assert_eq!(WhatIfPredictor::predict_secs(0, f64::NAN, 4), 0.0);
     }
 }

@@ -25,7 +25,9 @@
 //! [`ExecOptions::elasticity`]: accordion_exec::executor::ExecOptions
 
 pub mod elastic;
+pub mod matrix;
 pub mod scheduler;
 
 pub use elastic::{ElasticityController, StageControl, WhatIfChoice, WhatIfPredictor};
+pub use matrix::{run_cell, CellOutcome, MatrixCell};
 pub use scheduler::QueryExecutor;

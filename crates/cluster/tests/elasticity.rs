@@ -316,6 +316,85 @@ fn env_schedule_injector_parses_the_matrix_values() {
 }
 
 #[test]
+fn cycle_mode_alternates_retunes_within_one_query() {
+    // The cross-era regression: a forced grow→shrink→grow schedule inside
+    // a single query. Every retune must start a fresh measurement era
+    // (baseline reset), so rates never mix samples across DOP changes, and
+    // the result must stay identical to the static reference with every
+    // split scanned exactly once.
+    let c = catalog();
+    let builder = {
+        let b = LogicalPlanBuilder::scan(&c, "sales").unwrap();
+        let aggs = vec![
+            b.agg(AggKind::Sum, "qty", "total").unwrap(),
+            b.agg(AggKind::Count, "qty", "cnt").unwrap(),
+        ];
+        b.aggregate(&["region"], aggs).unwrap()
+    };
+    let (ref_rows, ref_scans) = reference(&c, &builder);
+    let tree = tree_at(&builder, 1);
+    let executor = QueryExecutor::new(opts(4, ElasticityConfig::cycle(4, 1)));
+    let result = executor.execute_tree(&c, &tree).unwrap();
+    assert_eq!(
+        sorted_rows(&result),
+        ref_rows,
+        "cycle retunes changed the result"
+    );
+    let stats = result.stats();
+    assert_eq!(
+        stats.rows_produced("TableScan"),
+        ref_scans,
+        "cycle: splits not scanned exactly once"
+    );
+    let retunes = &stats.retunes;
+    assert!(
+        retunes.len() >= 3,
+        "expected a grow→shrink→grow chain, got {retunes:?}"
+    );
+    // The chain is well-linked per stage: each retune starts where the
+    // previous one on the same stage ended…
+    for w in retunes.windows(2) {
+        if w[0].stage == w[1].stage {
+            assert_eq!(
+                w[0].to_dop, w[1].from_dop,
+                "retune chain broken: {retunes:?}"
+            );
+        }
+    }
+    // …and strictly alternates between the cycle's two poles.
+    for r in retunes {
+        assert_ne!(r.from_dop, r.to_dop, "no-op retune recorded: {retunes:?}");
+        assert!(
+            r.to_dop == 4 || r.to_dop == 1,
+            "cycle left its poles: {retunes:?}"
+        );
+    }
+    assert!(
+        retunes.iter().any(|r| r.to_dop == 4) && retunes.iter().any(|r| r.to_dop == 1),
+        "cycle never visited both poles: {retunes:?}"
+    );
+    // Runtime info stayed sane across all eras: samples monotone in time,
+    // and every sampled rate finite (a cross-era mix of a shrunk baseline
+    // shows up as an inflated or non-finite rate).
+    assert!(!stats.series.is_empty(), "no runtime info collected");
+    for series in &stats.series {
+        assert!(
+            series.points.windows(2).all(|w| w[0].at <= w[1].at),
+            "stage {} samples are not monotone in time",
+            series.stage
+        );
+        assert!(
+            series
+                .points
+                .iter()
+                .all(|p| p.value.is_finite() && p.value >= 0.0),
+            "stage {} sampled a non-finite or negative rate",
+            series.stage
+        );
+    }
+}
+
+#[test]
 fn repeated_grow_shrink_cycles_stay_correct() {
     // Hammer the mechanism: alternating forced targets across runs on the
     // same catalog must stay byte-identical to the reference every time.

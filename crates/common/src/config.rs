@@ -180,6 +180,11 @@ pub enum ElasticityMode {
     /// Test schedule injector: drop to the stage's minimum DOP at the first
     /// decision point, then go passive. `ACCORDION_ELASTICITY=forced-shrink`.
     ForcedShrink,
+    /// Test/bench schedule injector: alternate between `high` and `low` DOP
+    /// at successive decision boundaries (grow → shrink → grow → …),
+    /// hammering repeated mid-query retunes on one execution.
+    /// `ACCORDION_ELASTICITY=cycle[:high:low]`.
+    Cycle { high: u32, low: u32 },
 }
 
 /// Configuration of the intra-query re-parallelization controller.
@@ -227,14 +232,23 @@ impl ElasticityConfig {
         }
     }
 
+    /// Repeated grow/shrink schedule: alternate between `high` and `low`
+    /// DOP at every decision boundary.
+    pub fn cycle(high: u32, low: u32) -> Self {
+        ElasticityConfig {
+            mode: ElasticityMode::Cycle { high, low },
+            ..ElasticityConfig::default()
+        }
+    }
+
     /// Deadline used by `auto` when no explicit `auto:<deadline_ms>` suffix
     /// is given. A deadline of 0 would be degenerate — nothing can meet it,
     /// so the predictor would pin every stage at its maximum DOP.
     pub const DEFAULT_AUTO_DEADLINE_MS: u64 = 1_000;
 
     /// Reads `ACCORDION_ELASTICITY` (`off`, `forced-grow`, `forced-shrink`,
-    /// `auto[:deadline_ms]`); anything else — including unset — is `Off`.
-    /// This is what the CI elasticity matrix toggles.
+    /// `cycle[:high:low]`, `auto[:deadline_ms]`); anything else — including
+    /// unset — is `Off`. This is what the CI elasticity matrix toggles.
     pub fn from_env() -> Self {
         ElasticityConfig {
             mode: Self::parse_mode(std::env::var("ACCORDION_ELASTICITY").ok().as_deref()),
@@ -249,6 +263,16 @@ impl ElasticityConfig {
         match value {
             Some("forced-grow") => ElasticityMode::ForcedGrow,
             Some("forced-shrink") => ElasticityMode::ForcedShrink,
+            Some(v) if v == "cycle" || v.starts_with("cycle:") => {
+                let (high, low) = v
+                    .strip_prefix("cycle:")
+                    .and_then(|spec| {
+                        let (h, l) = spec.split_once(':')?;
+                        Some((h.parse::<u32>().ok()?, l.parse::<u32>().ok()?))
+                    })
+                    .unwrap_or((4, 1));
+                ElasticityMode::Cycle { high, low }
+            }
             Some(v) if v == "auto" || v.starts_with("auto:") => {
                 let deadline_ms = v
                     .strip_prefix("auto:")
@@ -315,6 +339,23 @@ mod tests {
         assert_eq!(
             ElasticityConfig::parse_mode(Some("auto:500")),
             ElasticityMode::Auto { deadline_ms: 500 }
+        );
+        assert_eq!(
+            ElasticityConfig::parse_mode(Some("cycle:6:2")),
+            ElasticityMode::Cycle { high: 6, low: 2 }
+        );
+        // Bare `cycle` and malformed specs get the default 4:1 schedule.
+        assert_eq!(
+            ElasticityConfig::parse_mode(Some("cycle")),
+            ElasticityMode::Cycle { high: 4, low: 1 }
+        );
+        assert_eq!(
+            ElasticityConfig::parse_mode(Some("cycle:x:y")),
+            ElasticityMode::Cycle { high: 4, low: 1 }
+        );
+        assert_eq!(
+            ElasticityConfig::cycle(8, 2).mode,
+            ElasticityMode::Cycle { high: 8, low: 2 }
         );
         // Bare `auto` and malformed suffixes get the non-degenerate default
         // deadline instead of an unmeetable 0 ms.

@@ -12,6 +12,8 @@
 //! * [`clock`] — a clock abstraction so that time-dependent logic (rate
 //!   meters, the what-if predictor, the auto-tuner) can be unit-tested with a
 //!   manual clock and run in production against the wall clock.
+//! * [`json`] — a zero-dependency JSON value model, deterministic writer
+//!   and strict parser, used by the bench harness's `BENCH_*.json` files.
 //! * [`metrics`] — lock-free counters, gauges, windowed rate meters and a
 //!   time-series recorder used by the runtime information collector
 //!   (paper §5.1, Fig 18).
@@ -22,6 +24,7 @@ pub mod clock;
 pub mod config;
 pub mod error;
 pub mod id;
+pub mod json;
 pub mod metrics;
 pub mod sync;
 
@@ -31,3 +34,4 @@ pub use error::{AccordionError, Result};
 pub use id::{
     BufferId, DriverId, NodeId, PipelineId, PlanNodeId, QueryId, SplitId, StageId, TaskId,
 };
+pub use json::Json;

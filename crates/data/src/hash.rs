@@ -68,18 +68,23 @@ pub fn hash_rows(page: &DataPage, key_indices: &[usize]) -> Vec<u64> {
     hashes
 }
 
-/// Maps a hash to one of `partitions` buckets.
+/// Maps a hash to one of `partitions` buckets. A partition count of zero is
+/// a caller bug, but it must not mis-route rows in release builds (the old
+/// `debug_assert!` compiled away): it is clamped to one bucket, so every row
+/// deterministically lands in partition 0.
 #[inline]
 pub fn partition_of(hash: u64, partitions: u32) -> u32 {
-    debug_assert!(partitions > 0);
+    let partitions = partitions.max(1);
     // Multiply-shift avoids the modulo and keeps high-entropy bits.
     (((hash >> 32) * partitions as u64) >> 32) as u32
 }
 
 /// Splits `page` into `partitions` pages by key hash. Returns one (possibly
 /// empty) page per partition. This is the kernel inside the shuffle buffer's
-/// shuffle executors (paper Fig 10b).
+/// shuffle executors (paper Fig 10b). Like [`partition_of`], a zero
+/// partition count is clamped to one — rows are never silently dropped.
 pub fn hash_partition(page: &DataPage, key_indices: &[usize], partitions: u32) -> Vec<DataPage> {
+    let partitions = partitions.max(1);
     let hashes = hash_rows(page, key_indices);
     let mut index_lists: Vec<Vec<u32>> = vec![Vec::new(); partitions as usize];
     for (row, h) in hashes.iter().enumerate() {
@@ -166,6 +171,20 @@ mod tests {
         assert_eq!(n6.iter().filter(|&&c| c > 0).count(), 1);
         assert_eq!(n4.iter().sum::<usize>(), 10);
         assert_eq!(n6.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn zero_partitions_clamp_to_one_bucket() {
+        // Previously only a debug_assert: a release build would mod-by-zero
+        // semantics its way into out-of-range buckets. Now zero clamps to
+        // one bucket in both profiles and never loses a row.
+        for h in [0u64, 1, u64::MAX, 0x1234_5678_9ABC_DEF0] {
+            assert_eq!(partition_of(h, 0), 0);
+        }
+        let p = key_page((0..100).collect());
+        let parts = hash_partition(&p, &[0], 0);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].row_count(), 100);
     }
 
     #[test]

@@ -179,10 +179,14 @@ fn is_leap(y: i64) -> bool {
 
 /// Converts `YYYY-MM-DD` to days since 1970-01-01.
 ///
-/// Valid for years 1 through 9999; panics on out-of-range month/day in debug
-/// builds and saturates in release (inputs are validated by the parser).
+/// Valid for years 1 through 9999. Out-of-range month/day components are
+/// **clamped** into `1..=12` / `1..=31`: the old `debug_assert!` compiled
+/// away in release builds, where a month of 0 or 13 walked the month table
+/// out of bounds and produced a silently wrong day count. Callers that need
+/// rejection instead of clamping validate first (see [`parse_date32`]).
 pub fn date32_from_ymd(year: i64, month: i64, day: i64) -> i32 {
-    debug_assert!((1..=12).contains(&month), "month out of range: {month}");
+    let month = month.clamp(1, 12);
+    let day = day.clamp(1, 31);
     let mut days: i64 = 0;
     if year >= 1970 {
         for y in 1970..year {
@@ -275,6 +279,18 @@ mod tests {
         let a = parse_date32("1992-01-02").unwrap();
         let b = parse_date32("1998-12-01").unwrap();
         assert!(a < b);
+    }
+
+    #[test]
+    fn out_of_range_components_clamp_in_every_profile() {
+        // month 0 / 13 used to index past the month table in release builds
+        // (debug_assert only); now both profiles clamp identically.
+        assert_eq!(date32_from_ymd(1994, 0, 5), date32_from_ymd(1994, 1, 5));
+        assert_eq!(date32_from_ymd(1994, 13, 5), date32_from_ymd(1994, 12, 5));
+        assert_eq!(date32_from_ymd(1994, 3, 0), date32_from_ymd(1994, 3, 1));
+        assert_eq!(date32_from_ymd(1994, 3, 99), date32_from_ymd(1994, 3, 31));
+        // Clamped results still format as real dates.
+        assert_eq!(format_date32(date32_from_ymd(1994, 13, 5)), "1994-12-05");
     }
 
     #[test]

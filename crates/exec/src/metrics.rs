@@ -20,7 +20,7 @@ use std::sync::Arc;
 use accordion_common::clock::{SharedClock, SystemClock};
 use accordion_common::metrics::{Counter, RateMeter, TimePoint, TimeSeries};
 use accordion_common::sync::Mutex;
-use accordion_common::Result;
+use accordion_common::{Json, Result};
 use accordion_data::page::Page;
 use accordion_net::ExchangeStats;
 
@@ -168,6 +168,20 @@ pub struct OperatorStats {
     pub rows_per_sec: f64,
 }
 
+impl OperatorStats {
+    /// Serializes into the bench harness's `BENCH_*.json` operator record.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("stage", Json::u64(self.stage as u64))
+            .with("task", Json::u64(self.task as u64))
+            .with("pipeline", Json::u64(self.pipeline as u64))
+            .with("operator", Json::str(self.operator))
+            .with("rows", Json::u64(self.rows))
+            .with("bytes", Json::u64(self.bytes))
+            .with("rows_per_sec", Json::f64(self.rows_per_sec))
+    }
+}
+
 /// One Source-stage DOP change applied by the elasticity controller
 /// (paper Fig 13): recorded at the between-splits decision boundary.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -183,12 +197,49 @@ pub struct RetuneEvent {
     pub predicted_secs: f64,
 }
 
+impl RetuneEvent {
+    /// Serializes into the bench harness's `BENCH_*.json` retune record.
+    /// A `predicted_secs` of infinity (no rate sample yet) maps to JSON
+    /// `null` — JSON has no literal for it.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("stage", Json::u64(self.stage as u64))
+            .with("from_dop", Json::u64(self.from_dop as u64))
+            .with("to_dop", Json::u64(self.to_dop as u64))
+            .with("splits_claimed", Json::u64(self.splits_claimed))
+            .with("predicted_secs", Json::f64(self.predicted_secs))
+    }
+}
+
 /// Frozen runtime time series of one stage (paper Fig 18).
 #[derive(Debug, Clone, PartialEq)]
 pub struct StageSeries {
     pub stage: u32,
     /// Samples in collection order; `at` is monotone non-decreasing.
     pub points: Vec<TimePoint>,
+}
+
+impl StageSeries {
+    /// Serializes the per-stage throughput curve: each point is
+    /// `[elapsed_ms, rows_per_sec]`, a compact pair array.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("stage", Json::u64(self.stage as u64))
+            .with(
+                "points",
+                Json::Arr(
+                    self.points
+                        .iter()
+                        .map(|p| {
+                            Json::Arr(vec![
+                                Json::f64(p.at.as_secs_f64() * 1000.0),
+                                Json::f64(p.value),
+                            ])
+                        })
+                        .collect(),
+                ),
+            )
+    }
 }
 
 /// Runtime statistics of one executed query.
@@ -232,6 +283,34 @@ impl QueryStats {
     /// The runtime series collected for one stage, if any.
     pub fn series_for(&self, stage: u32) -> Option<&StageSeries> {
         self.series.iter().find(|s| s.stage == stage)
+    }
+
+    /// Serializes the full stats record for the bench harness's
+    /// `BENCH_*.json`: per-operator counters, exchange aggregates, the
+    /// per-stage throughput series and the retune log. Field order is
+    /// fixed, so identical runs serialize byte-identically.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with(
+                "operators",
+                Json::Arr(self.operators.iter().map(|o| o.to_json()).collect()),
+            )
+            .with(
+                "exchange",
+                Json::obj()
+                    .with("pages", Json::u64(self.exchange.pages))
+                    .with("bytes", Json::u64(self.exchange.bytes))
+                    .with("grow_events", Json::u64(self.exchange.grow_events))
+                    .with("max_capacity", Json::u64(self.exchange.max_capacity as u64)),
+            )
+            .with(
+                "series",
+                Json::Arr(self.series.iter().map(|s| s.to_json()).collect()),
+            )
+            .with(
+                "retunes",
+                Json::Arr(self.retunes.iter().map(|r| r.to_json()).collect()),
+            )
     }
 }
 
@@ -480,5 +559,76 @@ mod tests {
         assert!(series.points.windows(2).all(|w| w[0].at <= w[1].at));
         assert_eq!(stats.retunes_for(2).len(), 1);
         assert_eq!(stats.retunes[0].to_dop, 4);
+    }
+
+    #[test]
+    fn era_rates_never_mix_across_retunes() {
+        use accordion_common::clock::ManualClock;
+
+        // A grow→shrink→grow schedule: each era's rate must reflect only
+        // that era's rows and elapsed time, never a whole-query average.
+        // Whole-query averaging would smear the 100 → 10 → 400 rows/s
+        // staircase into drifting blends (e.g. era 2 would read 55, era 3
+        // would read 170) and the predictor would mis-size every retune.
+        let clock = ManualClock::shared();
+        let metrics = Arc::new(QueryMetrics::with_clock(clock.clone()));
+        let m = metrics.register(1, 0, 0, "TableScan");
+        let collector = RuntimeCollector::new(metrics.clone(), &[1]);
+
+        let eras: [(u64, f64); 3] = [(100, 100.0), (10, 10.0), (400, 400.0)];
+        for (rows, want) in eras {
+            m.rows.add(rows);
+            clock.advance_millis(1000);
+            let got = collector.sample_stage(1);
+            assert!(
+                (got - want).abs() < 1e-9,
+                "era rate {got} rows/s, wanted {want}"
+            );
+            // The controller's retune path resets the baseline — a new
+            // task set starts a fresh measurement era.
+            collector.reset_baseline(1);
+        }
+
+        // Immediately after a reset, nothing has flowed in the new era.
+        assert_eq!(collector.sample_stage(1), 0.0);
+    }
+
+    #[test]
+    fn stats_serialize_to_stable_json() {
+        let metrics = Arc::new(QueryMetrics::new());
+        let m = metrics.register(0, 1, 2, "TableScan");
+        m.rows.add(42);
+        m.bytes.add(336);
+        metrics.record_retune(RetuneEvent {
+            stage: 0,
+            from_dop: 2,
+            to_dop: 4,
+            splits_claimed: 8,
+            predicted_secs: f64::INFINITY,
+        });
+        let stats = metrics.snapshot(ExchangeStats {
+            pages: 3,
+            bytes: 1024,
+            grow_events: 1,
+            max_capacity: 16,
+        });
+        let j = stats.to_json();
+        assert_eq!(
+            j.get("exchange").unwrap().get("bytes").unwrap().as_u64(),
+            Some(1024)
+        );
+        let op = &j.get("operators").unwrap().as_arr().unwrap()[0];
+        assert_eq!(op.get("operator").unwrap().as_str(), Some("TableScan"));
+        assert_eq!(op.get("rows").unwrap().as_u64(), Some(42));
+        let retune = &j.get("retunes").unwrap().as_arr().unwrap()[0];
+        assert_eq!(retune.get("to_dop").unwrap().as_u64(), Some(4));
+        // The writer emits a stable field order, so the same stats always
+        // produce the same bytes; a parse round-trip preserves them.
+        let text = j.to_string_pretty();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed.to_string_pretty(), text);
+        // Infinity is not representable in JSON: the writer emits null.
+        let retune = &parsed.get("retunes").unwrap().as_arr().unwrap()[0];
+        assert!(retune.get("predicted_secs").unwrap().is_null());
     }
 }

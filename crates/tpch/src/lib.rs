@@ -1,1 +1,24 @@
-//! placeholder — implemented later in the build
+//! TPC-H data generation and evaluation query definitions.
+//!
+//! The paper's experiments (§7) run TPC-H-shaped analytical queries over
+//! tables laid out across storage nodes per its Table 1. This crate
+//! reproduces that setup in-process and without external dependencies:
+//!
+//! * [`gen`] — a deterministic, seeded generator for the seven-table TPC-H
+//!   schema at a selectable scale factor. The same `(scale_factor, seed)`
+//!   pair always produces byte-identical tables (pinned by per-table row
+//!   counts and content checksums), so benchmark runs are reproducible
+//!   across machines and sessions.
+//! * [`queries`] — [`LogicalPlanBuilder`] definitions of the evaluation
+//!   queries: the Q1-shaped scan→filter→aggregate, the Q3-shaped
+//!   three-table join, the Q6-shaped selective filter→aggregate, and a
+//!   Top-N over orders. These are the workloads the bench harness
+//!   (`accordion-bench`) runs through the engine.
+//!
+//! [`LogicalPlanBuilder`]: accordion_plan::LogicalPlanBuilder
+
+pub mod gen;
+pub mod queries;
+
+pub use gen::{generate, TableSummary, TpchData, TpchOptions};
+pub use queries::{all_queries, q1, q3, q6, top_orders};

@@ -1,0 +1,198 @@
+//! Evaluation query definitions (the bench harness workload).
+//!
+//! Four query shapes mirroring the paper's evaluation mix, expressed
+//! directly as [`LogicalPlanBuilder`] plans over the generated catalog:
+//!
+//! * [`q1`] — TPC-H Q1-shaped pricing summary: a full lineitem scan with a
+//!   date filter into a grouped multi-aggregate. Scan-heavy; the elastic
+//!   Source stage dominates.
+//! * [`q3`] — TPC-H Q3-shaped shipping priority: three-table join
+//!   (customer ⋈ orders ⋈ lineitem) with selective filters on each input,
+//!   a grouped revenue aggregate and a Top-N.
+//! * [`q6`] — TPC-H Q6-shaped forecast revenue: a highly selective
+//!   filter into a single global aggregate. Tiny output, scan-bound.
+//! * [`top_orders`] — a Top-N over orders by total price: the ORDER
+//!   BY + LIMIT shape.
+
+use accordion_common::Result;
+use accordion_data::types::parse_date32;
+use accordion_expr::agg::{AggKind, AggSpec};
+use accordion_expr::scalar::{BinaryOp, Expr};
+use accordion_plan::LogicalPlanBuilder;
+use accordion_storage::catalog::Catalog;
+
+fn date(s: &str) -> Expr {
+    Expr::lit_date(parse_date32(s).expect("valid literal date"))
+}
+
+fn le(l: Expr, r: Expr) -> Expr {
+    Expr::binary(l, BinaryOp::LtEq, r)
+}
+
+fn ge(l: Expr, r: Expr) -> Expr {
+    Expr::binary(l, BinaryOp::GtEq, r)
+}
+
+/// `l_extendedprice * (1 - l_discount)` — Q1/Q3's discounted price.
+fn disc_price(b: &LogicalPlanBuilder) -> Result<Expr> {
+    Ok(Expr::mul(
+        b.col("l_extendedprice")?,
+        Expr::sub(Expr::lit_f64(1.0), b.col("l_discount")?),
+    ))
+}
+
+/// Q1-shaped pricing summary report:
+/// `SELECT l_returnflag, l_linestatus, sum(qty), sum(price),
+///  sum(price·(1-disc)), avg(disc), count(*) FROM lineitem
+///  WHERE l_shipdate <= DATE '1998-09-02' GROUP BY 1, 2`.
+pub fn q1(catalog: &Catalog) -> Result<LogicalPlanBuilder> {
+    let b = LogicalPlanBuilder::scan(catalog, "lineitem")?;
+    let b = b
+        .clone()
+        .filter(le(b.col("l_shipdate")?, date("1998-09-02")))?;
+    let aggs = vec![
+        b.agg(AggKind::Sum, "l_quantity", "sum_qty")?,
+        b.agg(AggKind::Sum, "l_extendedprice", "sum_base_price")?,
+        b.agg_expr(
+            AggKind::Sum,
+            disc_price(&b)?,
+            accordion_data::types::DataType::Float64,
+            "sum_disc_price",
+        ),
+        b.agg(AggKind::Avg, "l_discount", "avg_disc")?,
+        AggSpec::count_star("count_order"),
+    ];
+    b.aggregate(&["l_returnflag", "l_linestatus"], aggs)
+}
+
+/// Q3-shaped shipping priority: revenue of not-yet-shipped lineitems of
+/// BUILDING-segment customers' pre-cutoff orders, top 10 orders by revenue.
+pub fn q3(catalog: &Catalog) -> Result<LogicalPlanBuilder> {
+    let cutoff = "1995-03-15";
+    let customer = {
+        let b = LogicalPlanBuilder::scan(catalog, "customer")?;
+        b.clone()
+            .filter(Expr::eq(b.col("c_mktsegment")?, Expr::lit_str("BUILDING")))?
+    };
+    let orders = {
+        let b = LogicalPlanBuilder::scan(catalog, "orders")?;
+        b.clone()
+            .filter(Expr::lt(b.col("o_orderdate")?, date(cutoff)))?
+    };
+    let lineitem = {
+        let b = LogicalPlanBuilder::scan(catalog, "lineitem")?;
+        b.clone()
+            .filter(Expr::gt(b.col("l_shipdate")?, date(cutoff)))?
+    };
+    // Build sides stay small: filtered orders ⋈ filtered customers first,
+    // then probe with the big lineitem input.
+    let order_customer = orders.join(customer, &[("o_custkey", "c_custkey")])?;
+    let b = lineitem.join(order_customer, &[("l_orderkey", "o_orderkey")])?;
+    let revenue = b.agg_expr(
+        AggKind::Sum,
+        disc_price(&b)?,
+        accordion_data::types::DataType::Float64,
+        "revenue",
+    );
+    b.aggregate(&["l_orderkey", "o_orderdate"], vec![revenue])?
+        .top_n(&[("revenue", true), ("l_orderkey", false)], 10)
+}
+
+/// Q6-shaped forecast revenue change: one global sum under a selective
+/// quantity/discount/date band filter.
+pub fn q6(catalog: &Catalog) -> Result<LogicalPlanBuilder> {
+    let b = LogicalPlanBuilder::scan(catalog, "lineitem")?;
+    let pred = Expr::and(
+        Expr::and(
+            ge(b.col("l_shipdate")?, date("1994-01-01")),
+            Expr::lt(b.col("l_shipdate")?, date("1995-01-01")),
+        ),
+        Expr::and(
+            Expr::between(
+                b.col("l_discount")?,
+                Expr::lit_f64(0.05),
+                Expr::lit_f64(0.07),
+            ),
+            Expr::lt(b.col("l_quantity")?, Expr::lit_f64(24.0)),
+        ),
+    );
+    let b = b.clone().filter(pred)?;
+    let revenue = b.agg_expr(
+        AggKind::Sum,
+        Expr::mul(b.col("l_extendedprice")?, b.col("l_discount")?),
+        accordion_data::types::DataType::Float64,
+        "revenue",
+    );
+    b.aggregate(&[], vec![revenue])
+}
+
+/// Top 100 orders by total price — the ORDER BY + LIMIT shape.
+pub fn top_orders(catalog: &Catalog) -> Result<LogicalPlanBuilder> {
+    LogicalPlanBuilder::scan(catalog, "orders")?
+        .top_n(&[("o_totalprice", true), ("o_orderkey", false)], 100)
+}
+
+/// All evaluation queries, in bench order.
+pub fn all_queries(catalog: &Catalog) -> Result<Vec<(&'static str, LogicalPlanBuilder)>> {
+    Ok(vec![
+        ("q1", q1(catalog)?),
+        ("q3", q3(catalog)?),
+        ("q6", q6(catalog)?),
+        ("top_orders", top_orders(catalog)?),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, TpchOptions};
+
+    #[test]
+    fn all_queries_build_and_validate() {
+        let d = generate(&TpchOptions {
+            scale_factor: 0.001,
+            seed: 42,
+            page_rows: 64,
+        });
+        let queries = all_queries(&d.catalog).unwrap();
+        assert_eq!(queries.len(), 4);
+        for (name, b) in queries {
+            let plan = b.build();
+            plan.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn q1_schema_shape() {
+        let d = generate(&TpchOptions {
+            scale_factor: 0.001,
+            seed: 42,
+            page_rows: 64,
+        });
+        let s = q1(&d.catalog).unwrap().schema();
+        let names: Vec<&str> = s.fields().iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "l_returnflag",
+                "l_linestatus",
+                "sum_qty",
+                "sum_base_price",
+                "sum_disc_price",
+                "avg_disc",
+                "count_order"
+            ]
+        );
+    }
+
+    #[test]
+    fn q3_top_n_limit() {
+        let d = generate(&TpchOptions {
+            scale_factor: 0.001,
+            seed: 42,
+            page_rows: 64,
+        });
+        let s = q3(&d.catalog).unwrap().schema();
+        assert_eq!(s.index_of("revenue"), Some(2));
+    }
+}

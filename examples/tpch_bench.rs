@@ -1,0 +1,62 @@
+//! TPC-H bench harness quickstart: generate a deterministic dataset, run
+//! the evaluation queries across a small DOP × elasticity matrix and print
+//! the elasticity on/off wall-clock deltas — the same machinery behind the
+//! `accordion-bench` binary and the committed `BENCH_*.json` baselines.
+//!
+//! ```sh
+//! cargo run --release --example tpch_bench
+//! ```
+
+use accordion::bench::{run, validate, BenchOptions};
+use accordion::common::Json;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = BenchOptions {
+        name: "example".into(),
+        scale_factor: 0.005,
+        queries: vec!["q1".into(), "q6".into(), "top_orders".into()],
+        dops: vec![1, 4],
+        workers: vec![4],
+        modes: vec!["off".into(), "forced-grow".into(), "auto".into()],
+        warmup: 1,
+        repeats: 3,
+        ..BenchOptions::default()
+    };
+    let report = run(&opts)?;
+
+    let issues = validate(&report);
+    assert!(issues.is_empty(), "emitted report invalid: {issues:?}");
+
+    println!("=== tables ===");
+    for t in report.get("tables").and_then(Json::as_arr).unwrap() {
+        println!(
+            "{:>10}  rows={:<7} checksum={}",
+            t.get("name").and_then(Json::as_str).unwrap_or("?"),
+            t.get("rows").and_then(Json::as_u64).unwrap_or(0),
+            t.get("checksum").and_then(Json::as_str).unwrap_or("?"),
+        );
+    }
+
+    println!("\n=== matrix (median of {} runs) ===", opts.repeats);
+    for q in report.get("queries").and_then(Json::as_arr).unwrap() {
+        let name = q.get("query").and_then(Json::as_str).unwrap_or("?");
+        for cell in q.get("cells").and_then(Json::as_arr).unwrap() {
+            let vs_off = cell
+                .get("wall_ms_vs_off")
+                .and_then(Json::as_f64)
+                .map(|r| format!("{:+6.1}% vs off", (r - 1.0) * 100.0))
+                .unwrap_or_default();
+            println!(
+                "{name:>10}  dop={} mode={:<12} {:>8.2} ms  retunes={}  {vs_off}",
+                cell.get("dop").and_then(Json::as_u64).unwrap_or(0),
+                cell.get("mode").and_then(Json::as_str).unwrap_or("?"),
+                cell.get("wall_ms_median")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0),
+                cell.get("retunes").and_then(Json::as_u64).unwrap_or(0),
+            );
+        }
+    }
+    println!("\nreport is schema-valid; see README.md for the BENCH_*.json layout");
+    Ok(())
+}

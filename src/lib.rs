@@ -9,6 +9,7 @@
 //! let _ = (Catalog::new(), LogicalPlanBuilder::from_plan);
 //! ```
 
+pub use accordion_bench as bench;
 pub use accordion_cluster as cluster;
 pub use accordion_common as common;
 pub use accordion_data as data;
@@ -17,3 +18,4 @@ pub use accordion_expr as expr;
 pub use accordion_net as net;
 pub use accordion_plan as plan;
 pub use accordion_storage as storage;
+pub use accordion_tpch as tpch;
