@@ -1,0 +1,6 @@
+-- TPC-H Q6-shaped forecast revenue (see accordion_tpch::queries::q6).
+SELECT sum(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01'
+  AND l_discount BETWEEN 0.05 AND 0.07
+  AND l_quantity < 24.0;

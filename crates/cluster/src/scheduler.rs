@@ -145,31 +145,119 @@ impl QueryRt<'_> {
 /// Multi-threaded executor: concurrent stages, elastic exchanges, simulated
 /// network, and (when enabled) the intra-query re-parallelization
 /// controller. The streaming counterpart of `accordion_exec::execute_tree`.
-#[derive(Debug, Clone, Default)]
+///
+/// One executor is a **worker pool**: its compute-slot gate is created once
+/// (from `ExecOptions::worker_threads`) and shared by every query it runs,
+/// from any thread — N concurrent sessions multiplex the same slots, they
+/// do not multiply them. Clones share the pool. Concurrent queries stay
+/// deadlock-free for the same reason concurrent stages do: a task parked on
+/// exchange backpressure releases its slot, so even `worker_threads = 1`
+/// makes progress across arbitrarily many in-flight queries.
+///
+/// The executor also tracks every in-flight query's exchange registry;
+/// [`QueryExecutor::poison_active`] fails them all promptly — the query
+/// server's graceful shutdown path.
+#[derive(Clone)]
 pub struct QueryExecutor {
     opts: ExecOptions,
+    /// Shared compute-slot gate — the worker pool.
+    gate: Arc<Semaphore>,
+    /// Exchange registries of in-flight queries, keyed by a local id.
+    active: Arc<Mutex<HashMap<u64, Arc<ExchangeRegistry>>>>,
+    next_query_id: Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl std::fmt::Debug for QueryExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryExecutor")
+            .field("opts", &self.opts)
+            .field("active_queries", &self.active.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for QueryExecutor {
+    fn default() -> Self {
+        QueryExecutor::new(ExecOptions::default())
+    }
+}
+
+/// Removes a query's registry from the active map when execution leaves
+/// scope, error or not.
+struct ActiveGuard {
+    active: Arc<Mutex<HashMap<u64, Arc<ExchangeRegistry>>>>,
+    id: u64,
+}
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.active.lock().remove(&self.id);
+    }
 }
 
 impl QueryExecutor {
     pub fn new(opts: ExecOptions) -> Self {
-        QueryExecutor { opts }
+        let gate = Arc::new(Semaphore::new(opts.worker_threads.max(1)));
+        QueryExecutor {
+            opts,
+            gate,
+            active: Arc::new(Mutex::new(HashMap::new())),
+            next_query_id: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+        }
     }
 
     pub fn options(&self) -> &ExecOptions {
         &self.opts
     }
 
+    /// Number of queries currently executing on this pool.
+    pub fn active_queries(&self) -> usize {
+        self.active.lock().len()
+    }
+
+    /// Poisons every in-flight query's exchanges with `err`: all their
+    /// tasks unwind the next time they touch an endpoint and each query
+    /// returns the error. New queries are unaffected — this is a kill
+    /// switch for what is running *now* (server shutdown, admin abort).
+    pub fn poison_active(&self, err: AccordionError) {
+        let registries: Vec<Arc<ExchangeRegistry>> = self.active.lock().values().cloned().collect();
+        for registry in registries {
+            registry.poison(err.clone());
+        }
+    }
+
     /// Executes a fragmented stage tree, running all stages concurrently on
     /// the worker pool.
     pub fn execute_tree(&self, catalog: &Catalog, tree: &StageTree) -> Result<QueryResult> {
-        let registry = Arc::new(ExchangeRegistry::new(&self.opts.network));
-        let gate = Arc::new(Semaphore::new(self.opts.worker_threads.max(1)));
+        self.execute_tree_opts(catalog, tree, &self.opts)
+    }
+
+    /// [`Self::execute_tree`] with per-call options (a session's page size,
+    /// network shape, elasticity mode). `opts.worker_threads` is ignored:
+    /// the compute-slot gate belongs to the executor, sized once at
+    /// construction, and is shared by every query on this pool.
+    pub fn execute_tree_opts(
+        &self,
+        catalog: &Catalog,
+        tree: &StageTree,
+        opts: &ExecOptions,
+    ) -> Result<QueryResult> {
+        let registry = Arc::new(ExchangeRegistry::new(&opts.network));
+        let gate = self.gate.clone();
         let metrics = Arc::new(QueryMetrics::new());
+        let query_id = self
+            .next_query_id
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.active.lock().insert(query_id, registry.clone());
+        let _active_guard = ActiveGuard {
+            active: self.active.clone(),
+            id: query_id,
+        };
 
         // Elastic Source stages scan through a shared split queue so their
         // task set can change between splits; their edges get the
         // controller's writer lease slot.
-        let elastic_cfg = self.opts.elasticity;
+        let elastic_cfg = opts.elasticity;
         let mut elastic: HashMap<u32, ElasticWiring> = HashMap::new();
         if elastic_cfg.enabled() {
             for f in tree.fragments() {
@@ -255,7 +343,7 @@ impl QueryExecutor {
 
         let rt = QueryRt {
             catalog,
-            page_rows: self.opts.page_rows,
+            page_rows: opts.page_rows,
             registry: registry.clone(),
             gate: gate.clone(),
             metrics: metrics.clone(),
@@ -328,9 +416,21 @@ impl QueryExecutor {
         plan: &LogicalPlan,
         optimizer: &Optimizer,
     ) -> Result<QueryResult> {
+        self.execute_logical_opts(catalog, plan, optimizer, &self.opts)
+    }
+
+    /// [`Self::execute_logical`] with per-call options (see
+    /// [`Self::execute_tree_opts`]).
+    pub fn execute_logical_opts(
+        &self,
+        catalog: &Catalog,
+        plan: &LogicalPlan,
+        optimizer: &Optimizer,
+        opts: &ExecOptions,
+    ) -> Result<QueryResult> {
         let physical = optimizer.optimize(plan)?;
         let tree = StageTree::build(physical)?;
-        self.execute_tree(catalog, &tree)
+        self.execute_tree_opts(catalog, &tree, opts)
     }
 }
 

@@ -284,6 +284,71 @@ impl ElasticityConfig {
         }
     }
 
+    /// Strict programmatic parsing of an elasticity mode — the API behind
+    /// the query server's `SET elasticity`. Accepts the same grammar as
+    /// [`Self::parse_mode`] plus `off` and `forced:<dop>`, but malformed
+    /// values are **errors** instead of silently falling back to defaults:
+    /// an interactive session should hear about its typo, while the env-var
+    /// path ([`Self::from_env`]) stays lenient so a bad CI matrix entry
+    /// degrades to `Off` rather than failing every test.
+    pub fn try_parse_mode(value: &str) -> crate::error::Result<ElasticityMode> {
+        use crate::error::AccordionError;
+        let bad = |msg: String| Err(AccordionError::Parse(msg));
+        match value {
+            "off" => Ok(ElasticityMode::Off),
+            "forced-grow" => Ok(ElasticityMode::ForcedGrow),
+            "forced-shrink" => Ok(ElasticityMode::ForcedShrink),
+            "auto" => Ok(ElasticityMode::Auto {
+                deadline_ms: Self::DEFAULT_AUTO_DEADLINE_MS,
+            }),
+            "cycle" => Ok(ElasticityMode::Cycle { high: 4, low: 1 }),
+            v => {
+                if let Some(spec) = v.strip_prefix("auto:") {
+                    let deadline_ms = match spec.parse::<u64>() {
+                        Ok(d) if d > 0 => d,
+                        Ok(_) => {
+                            return bad(
+                                "auto deadline must be positive (0 ms can never be met)".into()
+                            )
+                        }
+                        Err(_) => {
+                            return bad(format!(
+                                "invalid auto deadline '{spec}' (expected milliseconds, \
+                                 e.g. auto:2000)"
+                            ))
+                        }
+                    };
+                    return Ok(ElasticityMode::Auto { deadline_ms });
+                }
+                if let Some(spec) = v.strip_prefix("forced:") {
+                    return match spec.parse::<u32>() {
+                        Ok(dop) if dop > 0 => Ok(ElasticityMode::Forced { target_dop: dop }),
+                        _ => bad(format!(
+                            "invalid forced DOP '{spec}' (expected a positive integer)"
+                        )),
+                    };
+                }
+                if let Some(spec) = v.strip_prefix("cycle:") {
+                    let parsed = spec
+                        .split_once(':')
+                        .and_then(|(h, l)| Some((h.parse::<u32>().ok()?, l.parse::<u32>().ok()?)));
+                    return match parsed {
+                        Some((high, low)) if high > 0 && low > 0 => {
+                            Ok(ElasticityMode::Cycle { high, low })
+                        }
+                        _ => bad(format!(
+                            "invalid cycle spec '{spec}' (expected cycle:<high>:<low>)"
+                        )),
+                    };
+                }
+                bad(format!(
+                    "unknown elasticity mode '{v}' (expected off, auto[:deadline_ms], \
+                     forced:<dop>, forced-grow, forced-shrink or cycle[:high:low])"
+                ))
+            }
+        }
+    }
+
     /// True when a controller should run at all.
     pub fn enabled(&self) -> bool {
         self.mode != ElasticityMode::Off
@@ -372,6 +437,49 @@ mod tests {
             }
         );
         assert_eq!(ElasticityConfig::parse_mode(None), ElasticityMode::Off);
+        assert_eq!(
+            ElasticityConfig::parse_mode(Some("bogus")),
+            ElasticityMode::Off
+        );
+    }
+
+    #[test]
+    fn try_parse_mode_accepts_the_full_grammar() {
+        use ElasticityMode::*;
+        let ok = |s: &str| ElasticityConfig::try_parse_mode(s).unwrap();
+        assert_eq!(ok("off"), Off);
+        assert_eq!(ok("forced-grow"), ForcedGrow);
+        assert_eq!(ok("forced-shrink"), ForcedShrink);
+        assert_eq!(ok("forced:3"), Forced { target_dop: 3 });
+        assert_eq!(ok("cycle"), Cycle { high: 4, low: 1 });
+        assert_eq!(ok("cycle:6:2"), Cycle { high: 6, low: 2 });
+        assert_eq!(
+            ok("auto"),
+            Auto {
+                deadline_ms: ElasticityConfig::DEFAULT_AUTO_DEADLINE_MS
+            }
+        );
+        assert_eq!(ok("auto:2500"), Auto { deadline_ms: 2500 });
+    }
+
+    #[test]
+    fn try_parse_mode_rejects_malformed_values() {
+        let err = |s: &str| match ElasticityConfig::try_parse_mode(s) {
+            Err(crate::error::AccordionError::Parse(m)) => m,
+            other => panic!("expected parse error for {s:?}, got {other:?}"),
+        };
+        assert!(err("bogus").contains("unknown elasticity mode"));
+        assert!(err("auto:").contains("invalid auto deadline"));
+        assert!(err("auto:5OO").contains("invalid auto deadline"));
+        assert!(err("auto:0").contains("positive"));
+        assert!(err("auto:-5").contains("invalid auto deadline"));
+        assert!(err("forced:").contains("invalid forced DOP"));
+        assert!(err("forced:0").contains("invalid forced DOP"));
+        assert!(err("cycle:x:y").contains("invalid cycle spec"));
+        assert!(err("cycle:4").contains("invalid cycle spec"));
+        assert!(err("cycle:0:1").contains("invalid cycle spec"));
+        assert!(err("").contains("unknown elasticity mode"));
+        // The lenient env-var path still falls back instead of failing.
         assert_eq!(
             ElasticityConfig::parse_mode(Some("bogus")),
             ElasticityMode::Off

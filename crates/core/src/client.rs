@@ -1,0 +1,157 @@
+//! A small blocking client for the query server's text protocol.
+//!
+//! [`Client::connect`] reads the greeting; [`Client::send`] ships one
+//! statement and parses one response frame; [`Client::query`] is the
+//! SELECT-shaped convenience that insists on a result set.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+
+use accordion_common::{AccordionError, Result};
+
+use crate::protocol::{decode_line, parse_frame, Frame};
+
+/// A decoded result set — all values as their CSV text form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    /// Server-side execution time for the statement, milliseconds.
+    pub elapsed_ms: u64,
+}
+
+/// One server response to one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `OK <message>` (SET / SHOW acknowledgment).
+    Ok(String),
+    /// A full result set.
+    Rows(ResultSet),
+}
+
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    /// The server greeting, e.g. `accordion 0.1.0`.
+    pub greeting: String,
+}
+
+impl Client {
+    /// Connects and consumes the greeting.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| AccordionError::Io(format!("connect failed: {e}")))?;
+        let writer = stream
+            .try_clone()
+            .map_err(|e| AccordionError::Io(format!("clone failed: {e}")))?;
+        let mut client = Client {
+            reader: BufReader::new(stream),
+            writer,
+            greeting: String::new(),
+        };
+        match parse_frame(&client.read_line()?)? {
+            Frame::Ok(greeting) => client.greeting = greeting,
+            other => {
+                return Err(AccordionError::Io(format!(
+                    "unexpected greeting frame: {other:?}"
+                )))
+            }
+        }
+        Ok(client)
+    }
+
+    /// Sends one statement (a terminating `;` is added if missing) and
+    /// reads its response. `ERR` frames surface as `Err`; the session
+    /// stays usable afterwards.
+    pub fn send(&mut self, statement: &str) -> Result<Response> {
+        let statement = statement.trim();
+        let terminator = if statement.ends_with(';') { "" } else { ";" };
+        writeln!(self.writer, "{statement}{terminator}")
+            .map_err(|e| AccordionError::Io(format!("send failed: {e}")))?;
+        self.read_response()
+    }
+
+    /// [`Self::send`] for statements that must produce rows.
+    pub fn query(&mut self, sql: &str) -> Result<ResultSet> {
+        match self.send(sql)? {
+            Response::Rows(rows) => Ok(rows),
+            Response::Ok(msg) => Err(AccordionError::Execution(format!(
+                "expected a result set, got OK {msg}"
+            ))),
+        }
+    }
+
+    /// Reads one response frame (plus body for result sets).
+    pub fn read_response(&mut self) -> Result<Response> {
+        match parse_frame(&self.read_line()?)? {
+            Frame::Ok(msg) => Ok(Response::Ok(msg)),
+            Frame::Err(msg) => Err(AccordionError::Execution(msg)),
+            Frame::End { .. } => Err(AccordionError::Io(
+                "protocol error: END without RESULT".to_string(),
+            )),
+            Frame::Result { ncols } => {
+                let columns = decode_line(self.read_line()?.trim_end())?;
+                if columns.len() != ncols {
+                    return Err(AccordionError::Io(format!(
+                        "header has {} columns, RESULT announced {ncols}",
+                        columns.len()
+                    )));
+                }
+                let mut rows = Vec::new();
+                loop {
+                    let line = self.read_line()?;
+                    let line = line.trim_end_matches(['\r', '\n']);
+                    // String fields are always quoted, so a bare END token
+                    // is unambiguously the trailer.
+                    if line.starts_with("END ") {
+                        let Frame::End { nrows, elapsed_ms } = parse_frame(line)? else {
+                            unreachable!("END prefix parses as End frame")
+                        };
+                        if nrows as usize != rows.len() {
+                            return Err(AccordionError::Io(format!(
+                                "trailer claims {nrows} rows, received {}",
+                                rows.len()
+                            )));
+                        }
+                        return Ok(Response::Rows(ResultSet {
+                            columns,
+                            rows,
+                            elapsed_ms,
+                        }));
+                    }
+                    let row = decode_line(line)?;
+                    if row.len() != ncols {
+                        return Err(AccordionError::Io(format!(
+                            "row has {} fields, expected {ncols}",
+                            row.len()
+                        )));
+                    }
+                    rows.push(row);
+                }
+            }
+        }
+    }
+
+    /// Ends the session politely.
+    pub fn exit(mut self) -> Result<()> {
+        writeln!(self.writer, "EXIT;")
+            .map_err(|e| AccordionError::Io(format!("send failed: {e}")))?;
+        let _ = self.read_line(); // OK bye (or EOF — either is fine)
+        let _ = self.writer.shutdown(Shutdown::Both);
+        Ok(())
+    }
+
+    fn read_line(&mut self) -> Result<String> {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| AccordionError::Io(format!("read failed: {e}")))?;
+        if n == 0 {
+            return Err(AccordionError::Io(
+                "connection closed by server".to_string(),
+            ));
+        }
+        Ok(line)
+    }
+}

@@ -1,0 +1,188 @@
+//! `accordion-core` — the query-server CLI.
+//!
+//! ```text
+//! accordion-core server [--addr 127.0.0.1:4433] [--sf 0.02] [--workers N]
+//!                       [--dop N] [--elasticity MODE]
+//!     Generate TPC-H data at the scale factor, start the server, and run
+//!     until killed. Prints `accordion-core listening on <addr>` when
+//!     ready.
+//!
+//! accordion-core client [--addr 127.0.0.1:4433] [--expect-rows N]
+//!                       [-e SQL]... [FILE.sql]...
+//!     Run statements (from -e flags and .sql files, in order) against a
+//!     server, print results, and — with --expect-rows — fail unless the
+//!     last result set has exactly N rows.
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use accordion_cluster::QueryExecutor;
+use accordion_common::config::ElasticityConfig;
+use accordion_core::{Client, QueryServer, Response, ServerConfig};
+use accordion_exec::ExecOptions;
+use accordion_sql::parse_statements;
+use accordion_tpch::gen::{generate, TpchOptions};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("server") => run_server(&args[1..]),
+        Some("client") => run_client(&args[1..]),
+        _ => {
+            eprintln!("usage: accordion-core <server|client> [options]  (see --help in source)");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("accordion-core: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pulls `--flag value` out of an argument list; returns the value.
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            return match it.next() {
+                Some(v) => Ok(Some(v.clone())),
+                None => Err(format!("{flag} needs a value")),
+            };
+        }
+    }
+    Ok(None)
+}
+
+fn parse_or<T: std::str::FromStr>(v: Option<String>, default: T, what: &str) -> Result<T, String> {
+    match v {
+        None => Ok(default),
+        Some(s) => s.parse().map_err(|_| format!("invalid {what}: '{s}'")),
+    }
+}
+
+fn run_server(args: &[String]) -> Result<(), String> {
+    let addr = flag_value(args, "--addr")?.unwrap_or_else(|| "127.0.0.1:4433".to_string());
+    let sf: f64 = parse_or(flag_value(args, "--sf")?, 0.02, "--sf")?;
+    let workers: usize = parse_or(flag_value(args, "--workers")?, 4, "--workers")?;
+    let dop: u32 = parse_or(flag_value(args, "--dop")?, 4, "--dop")?;
+    let elasticity = match flag_value(args, "--elasticity")? {
+        None => ElasticityConfig::off(),
+        Some(mode) => ElasticityConfig {
+            mode: ElasticityConfig::try_parse_mode(&mode).map_err(|e| e.to_string())?,
+            ..ElasticityConfig::default()
+        },
+    };
+
+    eprintln!("generating TPC-H data at sf {sf} ...");
+    let data = generate(&TpchOptions {
+        scale_factor: sf,
+        ..TpchOptions::default()
+    });
+    for t in &data.tables {
+        eprintln!("  {:>10}: {} rows", t.name, t.rows);
+    }
+
+    let exec = ExecOptions {
+        worker_threads: workers,
+        elasticity,
+        ..ExecOptions::default()
+    };
+    let executor = QueryExecutor::new(exec.clone());
+    let config = ServerConfig {
+        default_dop: dop,
+        exec,
+    };
+    let server = QueryServer::start(Arc::new(data.catalog), executor, config, addr.as_str())
+        .map_err(|e| e.to_string())?;
+    // CI and scripts wait for this exact line on stdout.
+    println!("accordion-core listening on {}", server.local_addr());
+    loop {
+        std::thread::park();
+    }
+}
+
+fn run_client(args: &[String]) -> Result<(), String> {
+    let addr = flag_value(args, "--addr")?.unwrap_or_else(|| "127.0.0.1:4433".to_string());
+    let expect_rows: Option<u64> = match flag_value(args, "--expect-rows")? {
+        None => None,
+        Some(s) => Some(
+            s.parse()
+                .map_err(|_| format!("invalid --expect-rows: '{s}'"))?,
+        ),
+    };
+
+    // Collect statements: every `-e SQL` plus the contents of every
+    // positional .sql file, in command-line order.
+    let mut statements: Vec<String> = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-e" => {
+                let sql = it.next().ok_or("-e needs a SQL string")?;
+                collect_statements(sql, &mut statements)?;
+            }
+            "--addr" | "--expect-rows" => {
+                it.next();
+            }
+            path => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                collect_statements(&text, &mut statements)?;
+            }
+        }
+    }
+    if statements.is_empty() {
+        return Err("no statements: pass -e SQL or a .sql file".to_string());
+    }
+
+    let mut client = Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
+    eprintln!("connected: {}", client.greeting);
+    let mut last_rows: Option<u64> = None;
+    for sql in &statements {
+        match client.send(sql).map_err(|e| e.to_string())? {
+            Response::Ok(msg) => println!("OK {msg}"),
+            Response::Rows(rs) => {
+                println!("{}", rs.columns.join("\t"));
+                for row in &rs.rows {
+                    println!("{}", row.join("\t"));
+                }
+                println!("({} rows, {} ms)", rs.rows.len(), rs.elapsed_ms);
+                last_rows = Some(rs.rows.len() as u64);
+            }
+        }
+    }
+    let _ = client.exit();
+    if let Some(expected) = expect_rows {
+        match last_rows {
+            Some(actual) if actual == expected => {}
+            Some(actual) => {
+                return Err(format!(
+                    "row-count check failed: expected {expected}, got {actual}"
+                ))
+            }
+            None => return Err("row-count check failed: no result set".to_string()),
+        }
+    }
+    Ok(())
+}
+
+/// Splits a script into statements (validated client-side so one bad file
+/// fails fast with caret diagnostics) and appends their source text.
+fn collect_statements(text: &str, out: &mut Vec<String>) -> Result<(), String> {
+    let parsed = parse_statements(text).map_err(|errors| {
+        errors
+            .iter()
+            .map(|e| e.render(text))
+            .collect::<Vec<_>>()
+            .join("\n")
+    })?;
+    for statement in &parsed {
+        let span = statement.span();
+        out.push(text[span.start..span.end].to_string());
+    }
+    Ok(())
+}

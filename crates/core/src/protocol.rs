@@ -1,0 +1,277 @@
+//! The wire protocol: a line-oriented text exchange over TCP.
+//!
+//! One session per connection. After the greeting, the client sends SQL
+//! statements terminated by `;` (a statement may span lines, and one send
+//! may carry several statements); the server answers **one frame per
+//! statement**, in order. `EXIT;` / `QUIT;` end the session.
+//!
+//! ```text
+//! server → OK accordion <version>          greeting, once per connection
+//! client → SELECT ... ;                    any statement batch
+//! server → OK <message>                    SET / SHOW acknowledgment
+//!        | RESULT <ncols>                  result set follows
+//!          <csv header>
+//!          <csv row>*
+//!          END <nrows> <elapsed_ms>
+//!        | ERR <message>                   parse/analysis/execution error
+//! ```
+//!
+//! CSV encoding: string fields are **always** double-quoted (with `""`
+//! escaping), every other type — integers, floats, booleans, dates, and
+//! `NULL` — is written bare. Since no bare rendering starts with `E`, a
+//! data row can never be mistaken for the `END` trailer, so results stream
+//! without a length prefix. `OK`/`ERR` payloads are single-line: newlines
+//! and backslashes are escaped (`\n`, `\r`, `\\`).
+
+use accordion_common::{AccordionError, Result};
+use accordion_data::schema::Schema;
+use accordion_data::types::Value;
+
+/// Protocol/package version announced in the greeting.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// The greeting line sent by the server on accept (without the newline).
+pub fn greeting() -> String {
+    format!("OK accordion {VERSION}")
+}
+
+/// Escapes an `OK`/`ERR` payload into a single line.
+pub fn escape_message(msg: &str) -> String {
+    let mut out = String::with_capacity(msg.len());
+    for ch in msg.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape_message`].
+pub fn unescape_message(msg: &str) -> String {
+    let mut out = String::with_capacity(msg.len());
+    let mut chars = msg.chars();
+    while let Some(ch) = chars.next() {
+        if ch != '\\' {
+            out.push(ch);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Quotes one CSV field with `""` escaping.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        if ch == '"' {
+            out.push('"');
+        }
+        out.push(ch);
+    }
+    out.push('"');
+    out
+}
+
+/// Encodes one value as a CSV field. Strings are always quoted; every
+/// other type renders bare via its `Display` form.
+pub fn csv_value(v: &Value) -> String {
+    match v {
+        Value::Utf8(s) => quote(s),
+        other => other.to_string(),
+    }
+}
+
+/// Encodes one result row as a CSV line (without the newline).
+pub fn encode_row(row: &[Value]) -> String {
+    let fields: Vec<String> = row.iter().map(csv_value).collect();
+    fields.join(",")
+}
+
+/// Encodes the result header — column names, always quoted.
+pub fn encode_header(schema: &Schema) -> String {
+    let fields: Vec<String> = schema.fields().iter().map(|f| quote(&f.name)).collect();
+    fields.join(",")
+}
+
+/// Splits one CSV line produced by [`encode_row`] / [`encode_header`] back
+/// into fields. Quoted fields are unquoted; bare fields are returned as-is
+/// (so `NULL`, numbers, dates stay textual — the client works in strings).
+pub fn decode_line(line: &str) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    loop {
+        if i < bytes.len() && bytes[i] == b'"' {
+            // Quoted field: scan for the closing quote, honoring "".
+            let mut field = String::new();
+            i += 1;
+            loop {
+                match bytes.get(i) {
+                    Some(b'"') if bytes.get(i + 1) == Some(&b'"') => {
+                        field.push('"');
+                        i += 2;
+                    }
+                    Some(b'"') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(_) => {
+                        // Multi-byte chars: copy the whole char.
+                        let ch = line[i..].chars().next().expect("in bounds");
+                        field.push(ch);
+                        i += ch.len_utf8();
+                    }
+                    None => {
+                        return Err(AccordionError::Parse(format!(
+                            "unterminated quoted CSV field in {line:?}"
+                        )))
+                    }
+                }
+            }
+            fields.push(field);
+        } else {
+            let end = line[i..].find(',').map(|p| i + p).unwrap_or(line.len());
+            fields.push(line[i..end].to_string());
+            i = end;
+        }
+        match bytes.get(i) {
+            Some(b',') => i += 1,
+            None => return Ok(fields),
+            Some(_) => {
+                return Err(AccordionError::Parse(format!(
+                    "malformed CSV line near byte {i} in {line:?}"
+                )))
+            }
+        }
+    }
+}
+
+/// One parsed response head-line, as the client sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// `OK <message>` — acknowledgment with an unescaped payload.
+    Ok(String),
+    /// `RESULT <ncols>` — a header line, rows, and an `END` trailer follow.
+    Result { ncols: usize },
+    /// `END <nrows> <elapsed_ms>` — result trailer.
+    End { nrows: u64, elapsed_ms: u64 },
+    /// `ERR <message>` — unescaped error payload.
+    Err(String),
+}
+
+/// Parses one protocol line into a [`Frame`].
+pub fn parse_frame(line: &str) -> Result<Frame> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    if let Some(rest) = line.strip_prefix("OK") {
+        return Ok(Frame::Ok(unescape_message(rest.trim_start())));
+    }
+    if let Some(rest) = line.strip_prefix("ERR") {
+        return Ok(Frame::Err(unescape_message(rest.trim_start())));
+    }
+    if let Some(rest) = line.strip_prefix("RESULT ") {
+        let ncols = rest
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| AccordionError::Parse(format!("malformed RESULT frame: {line:?}")))?;
+        return Ok(Frame::Result { ncols });
+    }
+    if let Some(rest) = line.strip_prefix("END ") {
+        let mut parts = rest.split_whitespace();
+        let (Some(nrows), Some(elapsed_ms), None) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(AccordionError::Parse(format!(
+                "malformed END frame: {line:?}"
+            )));
+        };
+        let (Ok(nrows), Ok(elapsed_ms)) = (nrows.parse::<u64>(), elapsed_ms.parse::<u64>()) else {
+            return Err(AccordionError::Parse(format!(
+                "malformed END frame: {line:?}"
+            )));
+        };
+        return Ok(Frame::End { nrows, elapsed_ms });
+    }
+    Err(AccordionError::Parse(format!(
+        "unrecognized protocol frame: {line:?}"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accordion_data::schema::Field;
+    use accordion_data::types::DataType;
+
+    #[test]
+    fn message_escape_roundtrip() {
+        let msg = "line one\nline two\r\\slash";
+        let escaped = escape_message(msg);
+        assert!(!escaped.contains('\n'));
+        assert_eq!(unescape_message(&escaped), msg);
+    }
+
+    #[test]
+    fn csv_roundtrip_with_quotes_commas_and_nulls() {
+        let row = vec![
+            Value::Utf8("a,b \"quoted\"\n".to_string()),
+            Value::Null,
+            Value::Int64(-3),
+            Value::Float64(1.5),
+            Value::Utf8("END 3 4".to_string()),
+        ];
+        let line = encode_row(&row);
+        // String fields are always quoted, so the line can't be mistaken
+        // for an END trailer even when a value spells one.
+        assert!(line.starts_with('"'));
+        let fields = decode_line(&line).unwrap();
+        assert_eq!(fields[0], "a,b \"quoted\"\n");
+        assert_eq!(fields[1], "NULL");
+        assert_eq!(fields[2], "-3");
+        assert_eq!(fields[4], "END 3 4");
+    }
+
+    #[test]
+    fn header_encodes_column_names() {
+        let schema = Schema::new(vec![
+            Field::new("region", DataType::Utf8),
+            Field::new("total", DataType::Int64),
+        ]);
+        let fields = decode_line(&encode_header(&schema)).unwrap();
+        assert_eq!(fields, vec!["region", "total"]);
+    }
+
+    #[test]
+    fn frames_parse() {
+        assert_eq!(
+            parse_frame("OK deadline_ms = 250\n").unwrap(),
+            Frame::Ok("deadline_ms = 250".to_string())
+        );
+        assert_eq!(parse_frame("RESULT 3").unwrap(), Frame::Result { ncols: 3 });
+        assert_eq!(
+            parse_frame("END 10 42").unwrap(),
+            Frame::End {
+                nrows: 10,
+                elapsed_ms: 42
+            }
+        );
+        let Frame::Err(msg) = parse_frame("ERR boom\\nline 2").unwrap() else {
+            panic!("expected ERR");
+        };
+        assert_eq!(msg, "boom\nline 2");
+        assert!(parse_frame("WAT 1").is_err());
+        assert!(parse_frame("END 1").is_err());
+    }
+}

@@ -1,0 +1,322 @@
+//! The multi-client query server.
+//!
+//! [`QueryServer::start`] binds a TCP listener and serves the protocol of
+//! [`crate::protocol`]: one session per connection, one OS thread per
+//! session. Every session shares **one** [`QueryExecutor`] — its
+//! compute-slot gate multiplexes all concurrent queries over the same
+//! worker pool, so eight clients at `worker_threads = 1` make progress
+//! (tasks parked on exchange backpressure release their slot; see
+//! `accordion_cluster::scheduler`).
+//!
+//! Statement handling per session:
+//!
+//! - `SET deadline_ms | elasticity | dop` — session-scoped tunables
+//!   ([`SessionVars`]); they shape the per-query [`ExecOptions`] and the
+//!   optimizer's planned DOP without touching other sessions.
+//! - `SHOW <var> | ALL | TABLES` — introspection.
+//! - `SELECT ...` — parsed and analyzed by `accordion-sql` against the
+//!   server catalog, executed on the shared pool, streamed back as CSV
+//!   page by page.
+//! - `EXIT;` / `QUIT;` — end the session.
+//!
+//! Errors (lex/parse/analysis/execution) become `ERR` frames; the session
+//! survives and the next statement runs normally.
+//!
+//! ## Graceful shutdown
+//!
+//! [`QueryServer::shutdown`] (also invoked on drop) flips the shutdown
+//! flag, **poisons every in-flight query's exchanges** via
+//! [`QueryExecutor::poison_active`] — their tasks unwind promptly and the
+//! sessions emit a final `ERR` — shuts down all client sockets, wakes the
+//! accept loop with a self-connection, and joins every thread.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use accordion_cluster::QueryExecutor;
+use accordion_common::sync::Mutex;
+use accordion_common::{AccordionError, Result};
+use accordion_exec::ExecOptions;
+use accordion_sql::{parse_statements, Analyzer, Statement};
+use accordion_storage::catalog::Catalog;
+
+use crate::protocol::{encode_header, encode_row, escape_message, greeting};
+use crate::session::SessionVars;
+
+/// Server-side knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Default planned Source-stage DOP for new sessions (`SET dop`
+    /// overrides per session).
+    pub default_dop: u32,
+    /// Option template for new sessions: page size, network shape, and the
+    /// default elasticity mode. Its `worker_threads` only matters if the
+    /// server constructs its own executor.
+    pub exec: ExecOptions,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            default_dop: 4,
+            exec: ExecOptions::default(),
+        }
+    }
+}
+
+/// Everything the accept loop and the sessions share.
+struct Shared {
+    catalog: Arc<Catalog>,
+    executor: QueryExecutor,
+    config: ServerConfig,
+    shutting_down: AtomicBool,
+    /// One `try_clone` handle per live connection, so shutdown can unblock
+    /// sessions parked in `read_line`.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+/// A running query server. Dropping it shuts it down.
+pub struct QueryServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl QueryServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving.
+    /// All sessions execute on `executor`'s shared worker pool against
+    /// `catalog`.
+    pub fn start(
+        catalog: Arc<Catalog>,
+        executor: QueryExecutor,
+        config: ServerConfig,
+        addr: impl ToSocketAddrs,
+    ) -> Result<QueryServer> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| AccordionError::Io(format!("bind failed: {e}")))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| AccordionError::Io(format!("local_addr failed: {e}")))?;
+        let shared = Arc::new(Shared {
+            catalog,
+            executor,
+            config,
+            shutting_down: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept_shared = shared.clone();
+        let accept_thread = std::thread::spawn(move || accept_loop(listener, accept_shared));
+        Ok(QueryServer {
+            shared,
+            local_addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address — connect clients here.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Number of queries executing right now across all sessions.
+    pub fn active_queries(&self) -> usize {
+        self.shared.executor.active_queries()
+    }
+
+    /// Stops accepting, fails all in-flight queries, disconnects every
+    /// session, and joins all server threads.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // In-flight queries unwind promptly: their sessions report the
+        // poison as a final ERR frame before the socket closes.
+        self.shared
+            .executor
+            .poison_active(AccordionError::Execution("server shutting down".into()));
+        for conn in self.shared.conns.lock().drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        // Unblock the accept loop; it re-checks the flag per connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for QueryServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().push(clone);
+        }
+        let session_shared = shared.clone();
+        sessions.push(std::thread::spawn(move || {
+            // Socket errors mean the client vanished — nothing to report.
+            let _ = serve_session(stream, &session_shared);
+        }));
+    }
+    for handle in sessions {
+        let _ = handle.join();
+    }
+}
+
+/// Runs one connection to completion.
+fn serve_session(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    writeln!(writer, "{}", greeting())?;
+    writer.flush()?;
+
+    let mut vars = SessionVars::new(&shared.config.exec, shared.config.default_dop);
+    let mut buffer = String::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client hung up
+        }
+        buffer.push_str(&line);
+        // Statements are terminated by `;`; keep reading until the batch
+        // is complete. (A `;` inside a string literal can hold a batch
+        // open until the next bare one — acceptable for a line protocol.)
+        let trimmed = buffer.trim();
+        if trimmed.is_empty() {
+            buffer.clear();
+            continue;
+        }
+        let bare_exit = is_exit(trimmed);
+        if !trimmed.ends_with(';') && !bare_exit {
+            continue;
+        }
+        let batch = std::mem::take(&mut buffer);
+        if bare_exit || is_exit(batch.trim().trim_end_matches(';').trim()) {
+            writeln!(writer, "OK bye")?;
+            writer.flush()?;
+            return Ok(());
+        }
+        if !run_batch(&batch, &mut vars, shared, &mut writer)? {
+            return Ok(());
+        }
+    }
+}
+
+fn is_exit(stmt: &str) -> bool {
+    stmt.eq_ignore_ascii_case("exit") || stmt.eq_ignore_ascii_case("quit")
+}
+
+/// Executes one `;`-terminated batch, writing one frame per statement.
+/// Returns `Ok(false)` when the session should close.
+fn run_batch(
+    batch: &str,
+    vars: &mut SessionVars,
+    shared: &Shared,
+    writer: &mut impl Write,
+) -> std::io::Result<bool> {
+    let statements = match parse_statements(batch) {
+        Ok(statements) => statements,
+        Err(errors) => {
+            // One ERR per failed statement, with caret diagnostics.
+            for e in errors {
+                writeln!(writer, "ERR {}", escape_message(&e.render(batch)))?;
+            }
+            writer.flush()?;
+            return Ok(true);
+        }
+    };
+    for statement in statements {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            writeln!(writer, "ERR server shutting down")?;
+            writer.flush()?;
+            return Ok(false);
+        }
+        match statement {
+            Statement::Set {
+                name, ref value, ..
+            } => match vars.set(&name.lower(), value) {
+                Ok(ack) => writeln!(writer, "OK {}", escape_message(&ack))?,
+                Err(e) => writeln!(writer, "ERR {}", escape_message(&e.to_string()))?,
+            },
+            Statement::Show { name, .. } => {
+                let name = name.lower();
+                let answer = if name == "tables" {
+                    Ok(format!(
+                        "tables: {}",
+                        shared.catalog.table_names().join(", ")
+                    ))
+                } else {
+                    vars.show(&name)
+                };
+                match answer {
+                    Ok(ack) => writeln!(writer, "OK {}", escape_message(&ack))?,
+                    Err(e) => writeln!(writer, "ERR {}", escape_message(&e.to_string()))?,
+                }
+            }
+            Statement::Select(ref select) => {
+                run_select(batch, select, vars, shared, writer)?;
+            }
+        }
+        writer.flush()?;
+    }
+    Ok(true)
+}
+
+/// Analyzes, executes, and streams one SELECT.
+fn run_select(
+    src: &str,
+    select: &accordion_sql::ast::Select,
+    vars: &SessionVars,
+    shared: &Shared,
+    writer: &mut impl Write,
+) -> std::io::Result<()> {
+    let started = Instant::now();
+    let plan = match Analyzer::new(&*shared.catalog, src).analyze(select) {
+        Ok(plan) => plan,
+        Err(e) => {
+            writeln!(writer, "ERR {}", escape_message(&e.render(src)))?;
+            return Ok(());
+        }
+    };
+    let result = shared.executor.execute_logical_opts(
+        &shared.catalog,
+        &plan,
+        &vars.optimizer(),
+        &vars.exec_options(),
+    );
+    match result {
+        Ok(result) => {
+            writeln!(writer, "RESULT {}", result.schema.len())?;
+            writeln!(writer, "{}", encode_header(&result.schema))?;
+            let mut nrows: u64 = 0;
+            // Stream page by page — large results never materialize as one
+            // string.
+            for page in &result.pages {
+                for row in page.rows() {
+                    writeln!(writer, "{}", encode_row(&row))?;
+                    nrows += 1;
+                }
+                writer.flush()?;
+            }
+            let elapsed_ms = started.elapsed().as_millis() as u64;
+            writeln!(writer, "END {nrows} {elapsed_ms}")?;
+        }
+        Err(e) => {
+            writeln!(writer, "ERR {}", escape_message(&e.to_string()))?;
+        }
+    }
+    Ok(())
+}

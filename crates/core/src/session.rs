@@ -1,0 +1,214 @@
+//! Session state: the variables a client tunes with `SET`, and how they
+//! become per-query [`ExecOptions`] / [`Optimizer`] settings.
+//!
+//! Three variables exist, all session-scoped (never shared across
+//! connections):
+//!
+//! | variable      | meaning                                               |
+//! |---------------|-------------------------------------------------------|
+//! | `deadline_ms` | target completion deadline for `auto` elasticity      |
+//! | `elasticity`  | controller mode (`off`, `auto[:ms]`, `forced:<dop>`, `forced-grow`, `forced-shrink`, `cycle[:h:l]`) |
+//! | `dop`         | planned Source-stage parallelism (the optimizer knob) |
+//!
+//! `SET elasticity = auto` (no suffix) adopts the session's current
+//! `deadline_ms`; `SET elasticity = auto:2500` pins both. Malformed values
+//! are rejected via [`ElasticityConfig::try_parse_mode`] and leave the
+//! session unchanged.
+
+use accordion_common::config::{ElasticityConfig, ElasticityMode};
+use accordion_common::{AccordionError, Result};
+use accordion_exec::ExecOptions;
+use accordion_plan::optimizer::{Optimizer, OptimizerConfig};
+
+/// Per-connection tunables. Fresh sessions start from the server's base
+/// [`ExecOptions`] and default DOP.
+#[derive(Debug, Clone)]
+pub struct SessionVars {
+    /// Deadline handed to `auto` elasticity, milliseconds.
+    pub deadline_ms: u64,
+    /// Elasticity controller configuration for this session's queries.
+    pub elasticity: ElasticityConfig,
+    /// Planned Source-stage parallelism.
+    pub dop: u32,
+    /// The server-wide option template (page size, network shape); the
+    /// session overlays its own elasticity on top.
+    base: ExecOptions,
+}
+
+impl SessionVars {
+    pub fn new(base: &ExecOptions, default_dop: u32) -> Self {
+        let deadline_ms = match base.elasticity.mode {
+            ElasticityMode::Auto { deadline_ms } => deadline_ms,
+            _ => ElasticityConfig::DEFAULT_AUTO_DEADLINE_MS,
+        };
+        SessionVars {
+            deadline_ms,
+            elasticity: base.elasticity,
+            dop: default_dop.max(1),
+            base: base.clone(),
+        }
+    }
+
+    /// Applies one `SET name = value`; returns the acknowledgment line.
+    pub fn set(&mut self, name: &str, value: &str) -> Result<String> {
+        match name {
+            "deadline_ms" => {
+                let ms: u64 = value.trim().parse().map_err(|_| {
+                    AccordionError::Parse(format!("invalid deadline_ms value '{value}'"))
+                })?;
+                if ms == 0 {
+                    return Err(AccordionError::Parse(
+                        "deadline_ms must be positive".to_string(),
+                    ));
+                }
+                self.deadline_ms = ms;
+                // An active auto controller re-targets immediately.
+                if let ElasticityMode::Auto { .. } = self.elasticity.mode {
+                    self.elasticity.mode = ElasticityMode::Auto { deadline_ms: ms };
+                }
+                Ok(format!("deadline_ms = {ms}"))
+            }
+            "elasticity" => {
+                let value = value.trim();
+                let mode = if value.eq_ignore_ascii_case("auto") {
+                    // Bare `auto` adopts the session deadline instead of the
+                    // global default.
+                    ElasticityMode::Auto {
+                        deadline_ms: self.deadline_ms,
+                    }
+                } else {
+                    ElasticityConfig::try_parse_mode(value)?
+                };
+                if let ElasticityMode::Auto { deadline_ms } = mode {
+                    self.deadline_ms = deadline_ms;
+                }
+                self.elasticity.mode = mode;
+                Ok(format!("elasticity = {}", mode_name(&mode)))
+            }
+            "dop" => {
+                let dop: u32 = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| AccordionError::Parse(format!("invalid dop value '{value}'")))?;
+                if dop == 0 {
+                    return Err(AccordionError::Parse("dop must be positive".to_string()));
+                }
+                self.dop = dop;
+                Ok(format!("dop = {dop}"))
+            }
+            other => Err(AccordionError::Parse(format!(
+                "unknown session variable '{other}' (expected deadline_ms, elasticity, or dop)"
+            ))),
+        }
+    }
+
+    /// Answers one `SHOW name`.
+    pub fn show(&self, name: &str) -> Result<String> {
+        match name {
+            "deadline_ms" => Ok(format!("deadline_ms = {}", self.deadline_ms)),
+            "elasticity" => Ok(format!("elasticity = {}", mode_name(&self.elasticity.mode))),
+            "dop" => Ok(format!("dop = {}", self.dop)),
+            "all" => Ok(format!(
+                "deadline_ms = {}, elasticity = {}, dop = {}",
+                self.deadline_ms,
+                mode_name(&self.elasticity.mode),
+                self.dop
+            )),
+            other => Err(AccordionError::Parse(format!(
+                "unknown session variable '{other}' (expected deadline_ms, elasticity, dop, or ALL)"
+            ))),
+        }
+    }
+
+    /// The per-query [`ExecOptions`]: the server's base options with this
+    /// session's elasticity overlaid. (`worker_threads` is irrelevant here
+    /// — the shared executor's pool is sized once at startup.)
+    pub fn exec_options(&self) -> ExecOptions {
+        let mut opts = self.base.clone();
+        opts.elasticity = self.elasticity;
+        opts
+    }
+
+    /// The per-query optimizer, planning scans at this session's DOP.
+    pub fn optimizer(&self) -> Optimizer {
+        Optimizer::new(OptimizerConfig::default().with_parallelism(self.dop))
+    }
+}
+
+/// Canonical spelling of a mode, matching what `SET elasticity` accepts.
+pub fn mode_name(mode: &ElasticityMode) -> String {
+    match mode {
+        ElasticityMode::Off => "off".to_string(),
+        ElasticityMode::Auto { deadline_ms } => format!("auto:{deadline_ms}"),
+        ElasticityMode::Forced { target_dop } => format!("forced:{target_dop}"),
+        ElasticityMode::ForcedGrow => "forced-grow".to_string(),
+        ElasticityMode::ForcedShrink => "forced-shrink".to_string(),
+        ElasticityMode::Cycle { high, low } => format!("cycle:{high}:{low}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars() -> SessionVars {
+        SessionVars::new(&ExecOptions::with_page_rows(64), 4)
+    }
+
+    #[test]
+    fn set_and_show_the_three_variables() {
+        let mut v = vars();
+        assert_eq!(v.set("dop", "7").unwrap(), "dop = 7");
+        assert_eq!(v.show("dop").unwrap(), "dop = 7");
+        assert_eq!(v.set("deadline_ms", "2500").unwrap(), "deadline_ms = 2500");
+        assert_eq!(
+            v.set("elasticity", "forced-grow").unwrap(),
+            "elasticity = forced-grow"
+        );
+        assert_eq!(v.elasticity.mode, ElasticityMode::ForcedGrow);
+        assert!(v.show("all").unwrap().contains("forced-grow"));
+    }
+
+    #[test]
+    fn bare_auto_adopts_the_session_deadline() {
+        let mut v = vars();
+        v.set("deadline_ms", "750").unwrap();
+        v.set("elasticity", "auto").unwrap();
+        assert_eq!(v.elasticity.mode, ElasticityMode::Auto { deadline_ms: 750 });
+        // An explicit suffix re-pins the session deadline too.
+        v.set("elasticity", "auto:300").unwrap();
+        assert_eq!(v.deadline_ms, 300);
+        // Re-targeting the deadline updates the active auto mode.
+        v.set("deadline_ms", "900").unwrap();
+        assert_eq!(v.elasticity.mode, ElasticityMode::Auto { deadline_ms: 900 });
+    }
+
+    #[test]
+    fn malformed_values_are_rejected_and_leave_state_unchanged() {
+        let mut v = vars();
+        let before = v.elasticity.mode;
+        assert!(v.set("elasticity", "warp-speed").is_err());
+        assert!(v.set("elasticity", "auto:0").is_err());
+        assert!(v.set("elasticity", "forced:abc").is_err());
+        assert_eq!(v.elasticity.mode, before);
+        assert!(v.set("dop", "0").is_err());
+        assert!(v.set("dop", "-3").is_err());
+        assert_eq!(v.dop, 4);
+        assert!(v.set("deadline_ms", "soon").is_err());
+        assert!(v.set("page_rows", "9").is_err());
+        assert!(v.show("page_rows").is_err());
+    }
+
+    #[test]
+    fn exec_options_overlay_session_elasticity() {
+        let mut v = vars();
+        v.set("elasticity", "forced:6").unwrap();
+        let opts = v.exec_options();
+        assert_eq!(opts.page_rows, 64);
+        assert_eq!(
+            opts.elasticity.mode,
+            ElasticityMode::Forced { target_dop: 6 }
+        );
+        assert_eq!(v.optimizer().config().scan_parallelism, 4);
+    }
+}

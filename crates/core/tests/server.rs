@@ -1,0 +1,226 @@
+//! Integration tests for the query server: concurrent sessions over real
+//! TCP sockets sharing one worker pool, session isolation, error frames,
+//! and graceful shutdown.
+
+use std::sync::Arc;
+
+use accordion_cluster::QueryExecutor;
+use accordion_common::config::ElasticityConfig;
+use accordion_core::{Client, QueryServer, Response, ServerConfig};
+use accordion_data::schema::{Field, Schema};
+use accordion_data::types::{DataType, Value};
+use accordion_exec::ExecOptions;
+use accordion_storage::catalog::Catalog;
+use accordion_storage::table::{PartitioningScheme, TableBuilder};
+
+/// The sales fixture of the exec golden suite: 8 rows, NULLs in qty,
+/// spread over 2 nodes × 2 splits.
+fn catalog() -> Arc<Catalog> {
+    let c = Catalog::new();
+    let schema = Schema::shared(vec![
+        Field::new("region", DataType::Utf8),
+        Field::new("product", DataType::Utf8),
+        Field::new("qty", DataType::Int64),
+        Field::new("price", DataType::Float64),
+    ]);
+    let rows = vec![
+        ("east", "apple", Some(10), 1.0),
+        ("east", "banana", Some(5), 2.0),
+        ("east", "apple", None, 3.0),
+        ("west", "banana", Some(20), 1.5),
+        ("west", "apple", Some(7), 2.5),
+        ("west", "cherry", Some(1), 4.0),
+        ("north", "cherry", None, 0.5),
+        ("north", "apple", Some(2), 1.0),
+    ];
+    let mut b = TableBuilder::new("sales", schema, 3);
+    for (region, product, qty, price) in rows {
+        b.push_row(vec![
+            Value::Utf8(region.to_string()),
+            Value::Utf8(product.to_string()),
+            qty.map(Value::Int64).unwrap_or(Value::Null),
+            Value::Float64(price),
+        ]);
+    }
+    b.register(&c, PartitioningScheme::new(2, 2), 0);
+    Arc::new(c)
+}
+
+/// A server whose executor has exactly `worker_threads` compute slots.
+fn start_server(worker_threads: usize) -> QueryServer {
+    // Elasticity is pinned off so SHOW defaults stay deterministic under
+    // the CI elasticity matrix; sessions opt into modes via SET.
+    let exec = ExecOptions {
+        worker_threads,
+        elasticity: ElasticityConfig::off(),
+        ..ExecOptions::with_page_rows(3)
+    };
+    let executor = QueryExecutor::new(exec.clone());
+    let config = ServerConfig {
+        default_dop: 2,
+        exec,
+    };
+    QueryServer::start(catalog(), executor, config, "127.0.0.1:0").unwrap()
+}
+
+const GROUP_QUERY: &str = "SELECT region, count(qty) AS cnt, sum(qty) AS total FROM sales \
+     GROUP BY region ORDER BY region";
+
+fn group_query_expected() -> Vec<Vec<String>> {
+    vec![
+        vec!["east".into(), "2".into(), "15".into()],
+        vec!["north".into(), "1".into(), "2".into()],
+        vec!["west".into(), "3".into(), "28".into()],
+    ]
+}
+
+#[test]
+fn eight_concurrent_sessions_share_one_worker_thread() {
+    // The elasticity-critical server invariant: 8 sessions × repeated
+    // queries over ONE compute slot finish (tasks parked on exchange
+    // backpressure release the slot) and all see identical results.
+    let server = start_server(1);
+    let addr = server.local_addr();
+
+    let mut handles = Vec::new();
+    for i in 0..8u32 {
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            // Per-session planned DOP, to vary the stage shapes in flight.
+            let dop = (i % 4) + 1;
+            client.send(&format!("SET dop = {dop}")).unwrap();
+            let mut rows = Vec::new();
+            for _ in 0..3 {
+                let rs = client.query(GROUP_QUERY).unwrap();
+                assert_eq!(rs.columns, vec!["region", "cnt", "total"]);
+                rows.push(rs.rows);
+            }
+            // Session isolation: our DOP survived everyone else's SETs.
+            let Response::Ok(shown) = client.send("SHOW dop").unwrap() else {
+                panic!("SHOW returns OK");
+            };
+            assert_eq!(shown, format!("dop = {dop}"));
+            client.exit().unwrap();
+            rows
+        }));
+    }
+    for handle in handles {
+        for rows in handle.join().unwrap() {
+            assert_eq!(rows, group_query_expected());
+        }
+    }
+    assert_eq!(server.active_queries(), 0);
+}
+
+#[test]
+fn set_variables_are_session_scoped_and_validated() {
+    let mut server = start_server(2);
+    let mut a = Client::connect(server.local_addr()).unwrap();
+    let mut b = Client::connect(server.local_addr()).unwrap();
+
+    assert_eq!(
+        a.send("SET elasticity = 'auto:2500'").unwrap(),
+        Response::Ok("elasticity = auto:2500".to_string())
+    );
+    assert_eq!(
+        a.send("SHOW deadline_ms").unwrap(),
+        Response::Ok("deadline_ms = 2500".to_string())
+    );
+    // B never set anything: it still sees the server default.
+    assert_eq!(
+        b.send("SHOW elasticity").unwrap(),
+        Response::Ok("elasticity = off".to_string())
+    );
+
+    // Malformed values produce ERR frames and leave the session intact.
+    let err = a.send("SET elasticity = 'warp'").unwrap_err();
+    assert!(err.to_string().contains("unknown elasticity mode"), "{err}");
+    let err = a.send("SET dop = 0").unwrap_err();
+    assert!(err.to_string().contains("dop must be positive"), "{err}");
+    assert_eq!(
+        a.send("SHOW elasticity").unwrap(),
+        Response::Ok("elasticity = auto:2500".to_string())
+    );
+
+    // The session still executes queries after errors.
+    let rs = a.query("SELECT region FROM sales WHERE qty > 19").unwrap();
+    assert_eq!(rs.rows, vec![vec!["west".to_string()]]);
+    server.shutdown();
+}
+
+#[test]
+fn error_frames_carry_diagnostics_and_do_not_kill_the_session() {
+    let server = start_server(2);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Parse error with caret rendering.
+    let err = client.send("SELECT FROM sales").unwrap_err();
+    assert!(err.to_string().contains('^'), "{err}");
+    // Analysis error names the bad column.
+    let err = client.send("SELECT nope FROM sales").unwrap_err();
+    assert!(err.to_string().contains("unknown column 'nope'"), "{err}");
+    // Unknown table.
+    let err = client.send("SELECT x FROM missing").unwrap_err();
+    assert!(err.to_string().contains("'missing'"), "{err}");
+
+    // And the connection still works.
+    let rs = client.query("SELECT count(*) AS n FROM sales").unwrap();
+    assert_eq!(rs.rows, vec![vec!["8".to_string()]]);
+    client.exit().unwrap();
+}
+
+#[test]
+fn batches_return_one_frame_per_statement() {
+    let server = start_server(2);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    // One send carrying three statements → three responses in order.
+    client
+        .send("SET dop = 3; SHOW dop; SELECT region FROM sales WHERE qty = 1;")
+        .unwrap();
+    let second = client.read_response().unwrap();
+    assert_eq!(second, Response::Ok("dop = 3".to_string()));
+    let Response::Rows(rs) = client.read_response().unwrap() else {
+        panic!("third response is a result set");
+    };
+    assert_eq!(rs.rows, vec![vec!["west".to_string()]]);
+
+    // Multi-line statements work too: `;` ends the batch, not the line.
+    client
+        .send("SELECT region, qty FROM sales\nWHERE qty > 9\nORDER BY qty")
+        .unwrap();
+    client.exit().unwrap();
+}
+
+#[test]
+fn shutdown_disconnects_sessions_and_poisons_in_flight_queries() {
+    let mut server = start_server(1);
+    let addr = server.local_addr();
+
+    // Sessions hammering queries while the server goes down: each either
+    // completes normally or observes a shutdown-shaped failure — never a
+    // hang or a wrong answer.
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        handles.push(std::thread::spawn(move || {
+            let Ok(mut client) = Client::connect(addr) else {
+                return;
+            };
+            for _ in 0..50 {
+                match client.query(GROUP_QUERY) {
+                    Ok(rs) => assert_eq!(rs.rows, group_query_expected()),
+                    Err(_) => return, // poisoned or disconnected mid-shutdown
+                }
+            }
+        }));
+    }
+    // Let the load start, then pull the plug.
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    server.shutdown();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    // New connections are refused or die immediately after shutdown.
+    if let Ok(mut client) = Client::connect(addr) {
+        assert!(client.send("SHOW dop").is_err());
+    }
+}

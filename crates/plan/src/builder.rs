@@ -12,8 +12,8 @@ use accordion_data::sort::SortKey;
 use accordion_data::types::DataType;
 use accordion_expr::agg::{AggKind, AggSpec};
 use accordion_expr::scalar::Expr;
-use accordion_storage::catalog::Catalog;
 
+use crate::catalog::Catalog;
 use crate::logical::{JoinType, LogicalPlan};
 
 /// Fluent builder over [`LogicalPlan`].
@@ -23,14 +23,15 @@ pub struct LogicalPlanBuilder {
 }
 
 impl LogicalPlanBuilder {
-    /// Starts from a full table scan.
-    pub fn scan(catalog: &Catalog, table: &str) -> Result<Self> {
-        let meta = catalog.get(table)?;
-        let projection: Vec<usize> = (0..meta.schema.len()).collect();
+    /// Starts from a full table scan. Any [`Catalog`] implementation works:
+    /// the storage registry, a schema-only catalog, or a test fixture.
+    pub fn scan(catalog: &dyn Catalog, table: &str) -> Result<Self> {
+        let t = catalog.table(table)?;
+        let projection: Vec<usize> = (0..t.schema.len()).collect();
         Ok(LogicalPlanBuilder {
             plan: Arc::new(LogicalPlan::TableScan {
-                table: meta.name.clone(),
-                table_schema: meta.schema.clone(),
+                table: t.name,
+                table_schema: t.schema,
                 projection,
             }),
         })
@@ -198,10 +199,11 @@ mod tests {
     use accordion_data::page::DataPage;
     use accordion_data::schema::Field;
     use accordion_data::types::Value;
+    use accordion_storage::catalog::Catalog as StorageCatalog;
     use accordion_storage::table::{PartitioningScheme, TableBuilder};
 
-    fn catalog() -> Catalog {
-        let c = Catalog::new();
+    fn catalog() -> StorageCatalog {
+        let c = StorageCatalog::new();
         let schema = Schema::shared(vec![
             Field::new("id", DataType::Int64),
             Field::new("name", DataType::Utf8),

@@ -18,6 +18,7 @@
 //! `accordion-exec` crate instantiates into running operators/drivers.
 
 pub mod builder;
+pub mod catalog;
 pub mod fragment;
 pub mod logical;
 pub mod optimizer;
@@ -25,6 +26,7 @@ pub mod physical;
 pub mod pipeline;
 
 pub use builder::LogicalPlanBuilder;
+pub use catalog::{Catalog, MemoryCatalog, TableRef};
 pub use fragment::{PlanFragment, StageKind, StageTree};
 pub use logical::{JoinType, LogicalPlan};
 pub use optimizer::{Optimizer, OptimizerConfig};

@@ -1,0 +1,167 @@
+//! Source spans and caret-rendered diagnostics.
+//!
+//! Every token, AST node and front-end error carries a [`Span`] — a
+//! half-open byte range into the original SQL text. [`SqlError::render`]
+//! turns a spanned error into a readable multi-line diagnostic:
+//!
+//! ```text
+//! analysis error: unknown column 'l_shipdat'
+//!   --> line 2, column 7
+//!   WHERE l_shipdat <= DATE '1998-09-02'
+//!         ^^^^^^^^^
+//! ```
+
+use std::fmt;
+
+use accordion_common::AccordionError;
+
+/// Half-open byte range `[start, end)` into the SQL source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// Which front-end phase produced the error — maps onto
+/// [`AccordionError::Parse`] vs [`AccordionError::Analysis`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlErrorKind {
+    Parse,
+    Analysis,
+}
+
+/// A spanned SQL front-end error. Produced by the lexer, parser and
+/// analyzer; rendered against the source text for display.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlError {
+    pub kind: SqlErrorKind,
+    pub message: String,
+    pub span: Span,
+}
+
+impl SqlError {
+    pub fn parse(message: impl Into<String>, span: Span) -> SqlError {
+        SqlError {
+            kind: SqlErrorKind::Parse,
+            message: message.into(),
+            span,
+        }
+    }
+
+    pub fn analysis(message: impl Into<String>, span: Span) -> SqlError {
+        SqlError {
+            kind: SqlErrorKind::Analysis,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Renders the error against the SQL text it was produced from, with
+    /// the offending source line and a caret underline.
+    pub fn render(&self, sql: &str) -> String {
+        let phase = match self.kind {
+            SqlErrorKind::Parse => "parse error",
+            SqlErrorKind::Analysis => "analysis error",
+        };
+        let start = self.span.start.min(sql.len());
+        let (line_no, col_no, line) = locate(sql, start);
+        let mut out = format!(
+            "{phase}: {}\n  --> line {line_no}, column {col_no}",
+            self.message
+        );
+        if !line.is_empty() {
+            let width = self
+                .span
+                .end
+                .saturating_sub(self.span.start)
+                .clamp(1, line.len().saturating_sub(col_no - 1).max(1));
+            out.push_str(&format!(
+                "\n  {line}\n  {}{}",
+                " ".repeat(col_no - 1),
+                "^".repeat(width)
+            ));
+        }
+        out
+    }
+
+    /// Converts into the engine-wide error type, rendering the diagnostic
+    /// against the source text.
+    pub fn into_engine(self, sql: &str) -> AccordionError {
+        let rendered = self.render(sql);
+        match self.kind {
+            SqlErrorKind::Parse => AccordionError::Parse(rendered),
+            SqlErrorKind::Analysis => AccordionError::Analysis(rendered),
+        }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// `(1-based line, 1-based column, line text)` for a byte offset.
+fn locate(sql: &str, offset: usize) -> (usize, usize, &str) {
+    let before = &sql[..offset];
+    let line_no = before.matches('\n').count() + 1;
+    let line_start = before.rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let line_end = sql[line_start..]
+        .find('\n')
+        .map(|i| line_start + i)
+        .unwrap_or(sql.len());
+    let col_no = offset - line_start + 1;
+    (line_no, col_no, &sql[line_start..line_end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_line_and_caret() {
+        let sql = "SELECT x\nFROM nope";
+        let err = SqlError::analysis("table 'nope' does not exist", Span::new(14, 18));
+        let r = err.render(sql);
+        assert!(
+            r.contains("analysis error: table 'nope' does not exist"),
+            "{r}"
+        );
+        assert!(r.contains("line 2, column 6"), "{r}");
+        assert!(r.contains("FROM nope"), "{r}");
+        assert!(r.contains("     ^^^^"), "{r}");
+    }
+
+    #[test]
+    fn span_merge_and_engine_conversion() {
+        let s = Span::new(3, 5).to(Span::new(1, 4));
+        assert_eq!(s, Span::new(1, 5));
+        let e = SqlError::parse("unexpected token", Span::new(0, 3)).into_engine("abc def");
+        assert!(matches!(e, AccordionError::Parse(_)));
+    }
+
+    #[test]
+    fn render_tolerates_out_of_range_span() {
+        let err = SqlError::parse("unexpected end of input", Span::new(100, 101));
+        let r = err.render("SELECT");
+        assert!(r.contains("parse error"), "{r}");
+    }
+}

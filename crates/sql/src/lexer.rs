@@ -1,0 +1,274 @@
+//! Hand-written SQL lexer.
+//!
+//! Produces a flat [`Token`] stream with byte [`Span`]s. Keywords are not
+//! distinguished from identifiers here — the parser matches identifier text
+//! case-insensitively, which keeps the token set small and lets keyword-ish
+//! words (`year`, `date`) still be used as column names where unambiguous.
+
+use crate::error::{Span, SqlError};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (original casing preserved).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    String(String),
+    Comma,
+    LParen,
+    RParen,
+    Semicolon,
+    Dot,
+    Colon,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    /// End of input (always the final token).
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description for "expected X, found Y" messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("'{s}'"),
+            TokenKind::Int(v) => format!("number {v}"),
+            TokenKind::Float(v) => format!("number {v}"),
+            TokenKind::String(_) => "string literal".to_string(),
+            TokenKind::Comma => "','".to_string(),
+            TokenKind::LParen => "'('".to_string(),
+            TokenKind::RParen => "')'".to_string(),
+            TokenKind::Semicolon => "';'".to_string(),
+            TokenKind::Dot => "'.'".to_string(),
+            TokenKind::Colon => "':'".to_string(),
+            TokenKind::Star => "'*'".to_string(),
+            TokenKind::Plus => "'+'".to_string(),
+            TokenKind::Minus => "'-'".to_string(),
+            TokenKind::Slash => "'/'".to_string(),
+            TokenKind::Eq => "'='".to_string(),
+            TokenKind::NotEq => "'<>'".to_string(),
+            TokenKind::Lt => "'<'".to_string(),
+            TokenKind::LtEq => "'<='".to_string(),
+            TokenKind::Gt => "'>'".to_string(),
+            TokenKind::GtEq => "'>='".to_string(),
+            TokenKind::Eof => "end of input".to_string(),
+        }
+    }
+}
+
+/// Tokenizes `sql` into a vector ending with an [`TokenKind::Eof`] token.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = sql.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // `-- line comment`.
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        // Identifier / keyword.
+        if c.is_ascii_alphabetic() || c == '_' {
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident(sql[start..i].to_string()),
+                span: Span::new(start, i),
+            });
+            continue;
+        }
+        // Number: digits, optional fraction.
+        if c.is_ascii_digit() {
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let mut is_float = false;
+            if i < bytes.len()
+                && bytes[i] == b'.'
+                && bytes
+                    .get(i + 1)
+                    .map(|b| (*b as char).is_ascii_digit())
+                    .unwrap_or(false)
+            {
+                is_float = true;
+                i += 1;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            let text = &sql[start..i];
+            let span = Span::new(start, i);
+            let kind = if is_float {
+                TokenKind::Float(text.parse::<f64>().map_err(|_| {
+                    SqlError::parse(format!("invalid numeric literal '{text}'"), span)
+                })?)
+            } else {
+                TokenKind::Int(text.parse::<i64>().map_err(|_| {
+                    SqlError::parse(format!("integer literal '{text}' out of range"), span)
+                })?)
+            };
+            tokens.push(Token { kind, span });
+            continue;
+        }
+        // String literal with '' escaping.
+        if c == '\'' {
+            let mut value = String::new();
+            i += 1;
+            loop {
+                match bytes.get(i) {
+                    None => {
+                        return Err(SqlError::parse(
+                            "unterminated string literal",
+                            Span::new(start, sql.len()),
+                        ))
+                    }
+                    Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                        value.push('\'');
+                        i += 2;
+                    }
+                    Some(b'\'') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(_) => {
+                        // Advance one full UTF-8 character.
+                        let ch = sql[i..].chars().next().expect("in-bounds char");
+                        value.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::String(value),
+                span: Span::new(start, i),
+            });
+            continue;
+        }
+        // Operators and punctuation.
+        let (kind, len) = match c {
+            ',' => (TokenKind::Comma, 1),
+            '(' => (TokenKind::LParen, 1),
+            ')' => (TokenKind::RParen, 1),
+            ';' => (TokenKind::Semicolon, 1),
+            '.' => (TokenKind::Dot, 1),
+            ':' => (TokenKind::Colon, 1),
+            '*' => (TokenKind::Star, 1),
+            '+' => (TokenKind::Plus, 1),
+            '-' => (TokenKind::Minus, 1),
+            '/' => (TokenKind::Slash, 1),
+            '=' => (TokenKind::Eq, 1),
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => (TokenKind::LtEq, 2),
+                Some(b'>') => (TokenKind::NotEq, 2),
+                _ => (TokenKind::Lt, 1),
+            },
+            '>' => match bytes.get(i + 1) {
+                Some(b'=') => (TokenKind::GtEq, 2),
+                _ => (TokenKind::Gt, 1),
+            },
+            '!' => match bytes.get(i + 1) {
+                Some(b'=') => (TokenKind::NotEq, 2),
+                _ => {
+                    return Err(SqlError::parse(
+                        "unexpected character '!'",
+                        Span::new(i, i + 1),
+                    ))
+                }
+            },
+            other => {
+                return Err(SqlError::parse(
+                    format!("unexpected character '{other}'"),
+                    Span::new(i, i + other.len_utf8()),
+                ))
+            }
+        };
+        tokens.push(Token {
+            kind,
+            span: Span::new(i, i + len),
+        });
+        i += len;
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        span: Span::new(sql.len(), sql.len()),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_a_small_query() {
+        let k = kinds("SELECT a, b FROM t WHERE a >= 1.5;");
+        assert_eq!(k[0], TokenKind::Ident("SELECT".into()));
+        assert_eq!(k[4], TokenKind::Ident("FROM".into()));
+        assert!(k.contains(&TokenKind::GtEq));
+        assert!(k.contains(&TokenKind::Float(1.5)));
+        assert_eq!(*k.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn string_escapes_and_comments() {
+        let k = kinds("-- a comment\n'it''s' <> 'x'");
+        assert_eq!(k[0], TokenKind::String("it's".into()));
+        assert_eq!(k[1], TokenKind::NotEq);
+    }
+
+    #[test]
+    fn spans_are_byte_accurate() {
+        let toks = tokenize("ab + cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 4));
+        assert_eq!(toks[2].span, Span::new(5, 7));
+    }
+
+    #[test]
+    fn errors_carry_spans() {
+        let e = tokenize("select 'oops").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+        assert_eq!(e.span.start, 7);
+        let e = tokenize("a ? b").unwrap_err();
+        assert_eq!(e.span, Span::new(2, 3));
+    }
+
+    #[test]
+    fn bang_eq_is_not_eq() {
+        assert!(kinds("a != b").contains(&TokenKind::NotEq));
+        assert!(tokenize("a ! b").is_err());
+    }
+}

@@ -15,7 +15,7 @@
 //! have plenty of between-splits decision boundaries.
 
 use accordion_data::schema::{Field, Schema};
-use accordion_data::types::{date32_from_ymd, DataType, Value};
+use accordion_data::types::{date32_from_ymd, Value};
 use accordion_storage::catalog::Catalog;
 use accordion_storage::table::{PartitioningScheme, TableBuilder};
 
@@ -231,29 +231,14 @@ pub fn generate(opts: &TpchOptions) -> TpchData {
     let date_hi = date32_from_ymd(1998, 8, 2) as i64;
 
     // region: 5 rows, fixed.
-    let mut g = Gen::new(
-        "region",
-        vec![
-            Field::new("r_regionkey", DataType::Int64),
-            Field::new("r_name", DataType::Utf8),
-        ],
-        opts,
-    );
+    let mut g = Gen::new("region", crate::schemas::region(), opts);
     for (k, name) in REGIONS.iter().enumerate() {
         g.push(vec![i(k as i64), s(*name)]);
     }
     g.register(&catalog, PartitioningScheme::new(1, 1), &mut tables);
 
     // nation: 25 rows, fixed.
-    let mut g = Gen::new(
-        "nation",
-        vec![
-            Field::new("n_nationkey", DataType::Int64),
-            Field::new("n_name", DataType::Utf8),
-            Field::new("n_regionkey", DataType::Int64),
-        ],
-        opts,
-    );
+    let mut g = Gen::new("nation", crate::schemas::nation(), opts);
     for (k, (name, region)) in NATIONS.iter().enumerate() {
         g.push(vec![i(k as i64), s(*name), i(*region)]);
     }
@@ -261,16 +246,7 @@ pub fn generate(opts: &TpchOptions) -> TpchData {
 
     // supplier: 10 000 × SF.
     let n_supplier = opts.scaled(10_000) as i64;
-    let mut g = Gen::new(
-        "supplier",
-        vec![
-            Field::new("s_suppkey", DataType::Int64),
-            Field::new("s_name", DataType::Utf8),
-            Field::new("s_nationkey", DataType::Int64),
-            Field::new("s_acctbal", DataType::Float64),
-        ],
-        opts,
-    );
+    let mut g = Gen::new("supplier", crate::schemas::supplier(), opts);
     for k in 1..=n_supplier {
         let nation = g.rng.below(25) as i64;
         let bal = cents(g.rng.range(0, 1_099_965) as f64 / 100.0 - 999.99);
@@ -280,17 +256,7 @@ pub fn generate(opts: &TpchOptions) -> TpchData {
 
     // part: 200 000 × SF.
     let n_part = opts.scaled(200_000) as i64;
-    let mut g = Gen::new(
-        "part",
-        vec![
-            Field::new("p_partkey", DataType::Int64),
-            Field::new("p_name", DataType::Utf8),
-            Field::new("p_brand", DataType::Utf8),
-            Field::new("p_size", DataType::Int64),
-            Field::new("p_retailprice", DataType::Float64),
-        ],
-        opts,
-    );
+    let mut g = Gen::new("part", crate::schemas::part(), opts);
     for k in 1..=n_part {
         let brand = format!("Brand#{}{}", g.rng.range(1, 5), g.rng.range(1, 5));
         let size = g.rng.range(1, 50) as i64;
@@ -306,17 +272,7 @@ pub fn generate(opts: &TpchOptions) -> TpchData {
 
     // customer: 150 000 × SF.
     let n_customer = opts.scaled(150_000) as i64;
-    let mut g = Gen::new(
-        "customer",
-        vec![
-            Field::new("c_custkey", DataType::Int64),
-            Field::new("c_name", DataType::Utf8),
-            Field::new("c_nationkey", DataType::Int64),
-            Field::new("c_mktsegment", DataType::Utf8),
-            Field::new("c_acctbal", DataType::Float64),
-        ],
-        opts,
-    );
+    let mut g = Gen::new("customer", crate::schemas::customer(), opts);
     for k in 1..=n_customer {
         let nation = g.rng.below(25) as i64;
         let segment = SEGMENTS[g.rng.below(5) as usize];
@@ -334,34 +290,8 @@ pub fn generate(opts: &TpchOptions) -> TpchData {
     // orders + lineitem: 1 500 000 × SF orders, 1–7 lineitems each. Both
     // derive from the *orders* substream so lineitem keys always join.
     let n_orders = opts.scaled(1_500_000) as i64;
-    let mut go = Gen::new(
-        "orders",
-        vec![
-            Field::new("o_orderkey", DataType::Int64),
-            Field::new("o_custkey", DataType::Int64),
-            Field::new("o_orderstatus", DataType::Utf8),
-            Field::new("o_totalprice", DataType::Float64),
-            Field::new("o_orderdate", DataType::Date32),
-        ],
-        opts,
-    );
-    let mut gl = Gen::new(
-        "lineitem",
-        vec![
-            Field::new("l_orderkey", DataType::Int64),
-            Field::new("l_linenumber", DataType::Int64),
-            Field::new("l_partkey", DataType::Int64),
-            Field::new("l_suppkey", DataType::Int64),
-            Field::new("l_quantity", DataType::Float64),
-            Field::new("l_extendedprice", DataType::Float64),
-            Field::new("l_discount", DataType::Float64),
-            Field::new("l_tax", DataType::Float64),
-            Field::new("l_returnflag", DataType::Utf8),
-            Field::new("l_linestatus", DataType::Utf8),
-            Field::new("l_shipdate", DataType::Date32),
-        ],
-        opts,
-    );
+    let mut go = Gen::new("orders", crate::schemas::orders(), opts);
+    let mut gl = Gen::new("lineitem", crate::schemas::lineitem(), opts);
     for orderkey in 1..=n_orders {
         let custkey = go.rng.range(1, n_customer as u64) as i64;
         let orderdate = go.rng.range(date_lo as u64, date_hi as u64) as i64;

@@ -19,6 +19,8 @@
 
 pub mod gen;
 pub mod queries;
+pub mod schemas;
 
 pub use gen::{generate, TableSummary, TpchData, TpchOptions};
 pub use queries::{all_queries, q1, q3, q6, top_orders};
+pub use schemas::TpchSchemas;

@@ -18,8 +18,8 @@ use accordion_common::Result;
 use accordion_data::types::parse_date32;
 use accordion_expr::agg::{AggKind, AggSpec};
 use accordion_expr::scalar::{BinaryOp, Expr};
+use accordion_plan::catalog::Catalog;
 use accordion_plan::LogicalPlanBuilder;
-use accordion_storage::catalog::Catalog;
 
 fn date(s: &str) -> Expr {
     Expr::lit_date(parse_date32(s).expect("valid literal date"))
@@ -45,7 +45,7 @@ fn disc_price(b: &LogicalPlanBuilder) -> Result<Expr> {
 /// `SELECT l_returnflag, l_linestatus, sum(qty), sum(price),
 ///  sum(price·(1-disc)), avg(disc), count(*) FROM lineitem
 ///  WHERE l_shipdate <= DATE '1998-09-02' GROUP BY 1, 2`.
-pub fn q1(catalog: &Catalog) -> Result<LogicalPlanBuilder> {
+pub fn q1(catalog: &dyn Catalog) -> Result<LogicalPlanBuilder> {
     let b = LogicalPlanBuilder::scan(catalog, "lineitem")?;
     let b = b
         .clone()
@@ -67,7 +67,7 @@ pub fn q1(catalog: &Catalog) -> Result<LogicalPlanBuilder> {
 
 /// Q3-shaped shipping priority: revenue of not-yet-shipped lineitems of
 /// BUILDING-segment customers' pre-cutoff orders, top 10 orders by revenue.
-pub fn q3(catalog: &Catalog) -> Result<LogicalPlanBuilder> {
+pub fn q3(catalog: &dyn Catalog) -> Result<LogicalPlanBuilder> {
     let cutoff = "1995-03-15";
     let customer = {
         let b = LogicalPlanBuilder::scan(catalog, "customer")?;
@@ -100,7 +100,7 @@ pub fn q3(catalog: &Catalog) -> Result<LogicalPlanBuilder> {
 
 /// Q6-shaped forecast revenue change: one global sum under a selective
 /// quantity/discount/date band filter.
-pub fn q6(catalog: &Catalog) -> Result<LogicalPlanBuilder> {
+pub fn q6(catalog: &dyn Catalog) -> Result<LogicalPlanBuilder> {
     let b = LogicalPlanBuilder::scan(catalog, "lineitem")?;
     let pred = Expr::and(
         Expr::and(
@@ -127,13 +127,13 @@ pub fn q6(catalog: &Catalog) -> Result<LogicalPlanBuilder> {
 }
 
 /// Top 100 orders by total price — the ORDER BY + LIMIT shape.
-pub fn top_orders(catalog: &Catalog) -> Result<LogicalPlanBuilder> {
+pub fn top_orders(catalog: &dyn Catalog) -> Result<LogicalPlanBuilder> {
     LogicalPlanBuilder::scan(catalog, "orders")?
         .top_n(&[("o_totalprice", true), ("o_orderkey", false)], 100)
 }
 
 /// All evaluation queries, in bench order.
-pub fn all_queries(catalog: &Catalog) -> Result<Vec<(&'static str, LogicalPlanBuilder)>> {
+pub fn all_queries(catalog: &dyn Catalog) -> Result<Vec<(&'static str, LogicalPlanBuilder)>> {
     Ok(vec![
         ("q1", q1(catalog)?),
         ("q3", q3(catalog)?),

@@ -1,0 +1,173 @@
+//! The paper's Table 1 schemas, defined once.
+//!
+//! Both the data generator ([`crate::gen`]) and the schema-only
+//! [`TpchSchemas`] catalog build from these definitions, so the SQL
+//! analyzer, the planner and the generated tables can never drift apart.
+//! [`TpchSchemas`] implements [`accordion_plan::catalog::Catalog`], which
+//! makes it enough to parse, analyze and plan any TPC-H query without
+//! generating a single row.
+
+use accordion_common::Result;
+use accordion_data::schema::{Field, Schema, SchemaRef};
+use accordion_data::types::DataType;
+use accordion_plan::catalog::{unknown_table, Catalog, TableRef};
+
+use DataType::{Date32, Float64, Int64, Utf8};
+
+fn field(name: &str, dt: DataType) -> Field {
+    Field::new(name, dt)
+}
+
+/// `region(r_regionkey, r_name)`.
+pub fn region() -> Vec<Field> {
+    vec![field("r_regionkey", Int64), field("r_name", Utf8)]
+}
+
+/// `nation(n_nationkey, n_name, n_regionkey)`.
+pub fn nation() -> Vec<Field> {
+    vec![
+        field("n_nationkey", Int64),
+        field("n_name", Utf8),
+        field("n_regionkey", Int64),
+    ]
+}
+
+/// `supplier(s_suppkey, s_name, s_nationkey, s_acctbal)`.
+pub fn supplier() -> Vec<Field> {
+    vec![
+        field("s_suppkey", Int64),
+        field("s_name", Utf8),
+        field("s_nationkey", Int64),
+        field("s_acctbal", Float64),
+    ]
+}
+
+/// `part(p_partkey, p_name, p_brand, p_size, p_retailprice)`.
+pub fn part() -> Vec<Field> {
+    vec![
+        field("p_partkey", Int64),
+        field("p_name", Utf8),
+        field("p_brand", Utf8),
+        field("p_size", Int64),
+        field("p_retailprice", Float64),
+    ]
+}
+
+/// `customer(c_custkey, c_name, c_nationkey, c_mktsegment, c_acctbal)`.
+pub fn customer() -> Vec<Field> {
+    vec![
+        field("c_custkey", Int64),
+        field("c_name", Utf8),
+        field("c_nationkey", Int64),
+        field("c_mktsegment", Utf8),
+        field("c_acctbal", Float64),
+    ]
+}
+
+/// `orders(o_orderkey, o_custkey, o_orderstatus, o_totalprice, o_orderdate)`.
+pub fn orders() -> Vec<Field> {
+    vec![
+        field("o_orderkey", Int64),
+        field("o_custkey", Int64),
+        field("o_orderstatus", Utf8),
+        field("o_totalprice", Float64),
+        field("o_orderdate", Date32),
+    ]
+}
+
+/// `lineitem(...)` — the 11-column fact table.
+pub fn lineitem() -> Vec<Field> {
+    vec![
+        field("l_orderkey", Int64),
+        field("l_linenumber", Int64),
+        field("l_partkey", Int64),
+        field("l_suppkey", Int64),
+        field("l_quantity", Float64),
+        field("l_extendedprice", Float64),
+        field("l_discount", Float64),
+        field("l_tax", Float64),
+        field("l_returnflag", Utf8),
+        field("l_linestatus", Utf8),
+        field("l_shipdate", Date32),
+    ]
+}
+
+/// `(name, schema)` for every TPC-H table, in generation order.
+pub fn all_tables() -> Vec<(&'static str, Vec<Field>)> {
+    vec![
+        ("region", region()),
+        ("nation", nation()),
+        ("supplier", supplier()),
+        ("part", part()),
+        ("customer", customer()),
+        ("orders", orders()),
+        ("lineitem", lineitem()),
+    ]
+}
+
+/// Schema-only TPC-H catalog: resolves the seven table names to their
+/// schemas without holding any data.
+#[derive(Debug, Clone)]
+pub struct TpchSchemas {
+    tables: Vec<(&'static str, SchemaRef)>,
+}
+
+impl Default for TpchSchemas {
+    fn default() -> Self {
+        TpchSchemas {
+            tables: all_tables()
+                .into_iter()
+                .map(|(name, fields)| (name, Schema::shared(fields)))
+                .collect(),
+        }
+    }
+}
+
+impl TpchSchemas {
+    pub fn new() -> Self {
+        TpchSchemas::default()
+    }
+}
+
+impl Catalog for TpchSchemas {
+    fn table(&self, name: &str) -> Result<TableRef> {
+        let lower = name.to_ascii_lowercase();
+        self.tables
+            .iter()
+            .find(|(n, _)| *n == lower)
+            .map(|(n, schema)| TableRef {
+                name: (*n).to_string(),
+                schema: schema.clone(),
+            })
+            .ok_or_else(|| unknown_table(name))
+    }
+
+    fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.iter().map(|(n, _)| (*n).to_string()).collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_all_seven_tables() {
+        let c = TpchSchemas::new();
+        assert_eq!(c.table_names().len(), 7);
+        let t = c.table("LINEITEM").unwrap();
+        assert_eq!(t.name, "lineitem");
+        assert_eq!(t.schema.len(), 11);
+        assert!(c.table("parts").is_err());
+    }
+
+    #[test]
+    fn lineitem_types_match_expr_surface() {
+        let c = TpchSchemas::new();
+        let t = c.table("lineitem").unwrap();
+        assert_eq!(t.schema.field(10).data_type, Date32, "l_shipdate is a date");
+        assert_eq!(t.schema.index_of("l_discount"), Some(6));
+    }
+}

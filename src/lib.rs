@@ -12,10 +12,12 @@
 pub use accordion_bench as bench;
 pub use accordion_cluster as cluster;
 pub use accordion_common as common;
+pub use accordion_core as server;
 pub use accordion_data as data;
 pub use accordion_exec as exec;
 pub use accordion_expr as expr;
 pub use accordion_net as net;
 pub use accordion_plan as plan;
+pub use accordion_sql as sql;
 pub use accordion_storage as storage;
 pub use accordion_tpch as tpch;

@@ -1,0 +1,126 @@
+//! SQL ↔ builder parity on the TPC-H evaluation workload: each bench query
+//! (`accordion_tpch::queries`) re-expressed as SQL text must produce the
+//! identical result set over the same generated data, executed through the
+//! cluster scheduler.
+
+use accordion::cluster::QueryExecutor;
+use accordion::data::types::Value;
+use accordion::exec::ExecOptions;
+use accordion::plan::optimizer::{Optimizer, OptimizerConfig};
+use accordion::sql::plan_select;
+use accordion::tpch::gen::{generate, TpchOptions};
+use accordion::tpch::queries;
+
+const Q1_SQL: &str = "\
+SELECT l_returnflag, l_linestatus, sum(l_quantity) AS sum_qty, \
+       sum(l_extendedprice) AS sum_base_price, \
+       sum(l_extendedprice * (1.0 - l_discount)) AS sum_disc_price, \
+       avg(l_discount) AS avg_disc, count(*) AS count_order \
+FROM lineitem \
+WHERE l_shipdate <= DATE '1998-09-02' \
+GROUP BY l_returnflag, l_linestatus";
+
+const Q3_SQL: &str = "\
+SELECT l_orderkey, o_orderdate, \
+       sum(l_extendedprice * (1.0 - l_discount)) AS revenue \
+FROM lineitem \
+  INNER JOIN orders ON l_orderkey = o_orderkey \
+  INNER JOIN customer ON o_custkey = c_custkey \
+WHERE l_shipdate > DATE '1995-03-15' \
+  AND o_orderdate < DATE '1995-03-15' \
+  AND c_mktsegment = 'BUILDING' \
+GROUP BY l_orderkey, o_orderdate \
+ORDER BY revenue DESC, l_orderkey \
+LIMIT 10";
+
+const Q6_SQL: &str = "\
+SELECT sum(l_extendedprice * l_discount) AS revenue \
+FROM lineitem \
+WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' \
+  AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24.0";
+
+const TOP_ORDERS_SQL: &str = "\
+SELECT * FROM orders ORDER BY o_totalprice DESC, o_orderkey LIMIT 100";
+
+/// Float aggregates are summed in exchange-arrival order, so two runs of
+/// the same plan differ in the last ulps; compare with relative tolerance.
+fn values_close(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float64(x), Value::Float64(y)) => {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() <= 1e-9 * scale
+        }
+        _ => a == b,
+    }
+}
+
+fn assert_rows_close(name: &str, left: &[Vec<Value>], right: &[Vec<Value>]) {
+    assert_eq!(left.len(), right.len(), "{name}: row counts diverged");
+    for (i, (l, r)) in left.iter().zip(right).enumerate() {
+        assert_eq!(l.len(), r.len(), "{name}: row {i} widths diverged");
+        for (x, y) in l.iter().zip(r) {
+            assert!(
+                values_close(x, y),
+                "{name}: row {i} diverged: {l:?} vs {r:?}"
+            );
+        }
+    }
+}
+
+fn sorted(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+    rows.sort_by(|a, b| {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| *o != std::cmp::Ordering::Equal)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    rows
+}
+
+#[test]
+fn tpch_queries_match_their_builder_twins() {
+    let data = generate(&TpchOptions {
+        scale_factor: 0.002,
+        seed: 42,
+        page_rows: 64,
+    });
+    let catalog = &data.catalog;
+    let executor = QueryExecutor::new(ExecOptions::with_page_rows(64).worker_threads(3));
+    let optimizer = Optimizer::new(OptimizerConfig::default().with_parallelism(3));
+    let opts = ExecOptions::with_page_rows(64);
+
+    // (name, SQL text, builder plan, order-deterministic?). Q1's aggregate
+    // has no ORDER BY, so its output order is compared sorted.
+    let cases = [
+        ("q1", Q1_SQL, queries::q1(catalog).unwrap(), false),
+        ("q3", Q3_SQL, queries::q3(catalog).unwrap(), true),
+        ("q6", Q6_SQL, queries::q6(catalog).unwrap(), true),
+        (
+            "top_orders",
+            TOP_ORDERS_SQL,
+            queries::top_orders(catalog).unwrap(),
+            true,
+        ),
+    ];
+    for (name, sql, builder, ordered) in cases {
+        let sql_plan = plan_select(catalog, sql).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let via_sql = executor
+            .execute_logical_opts(catalog, &sql_plan, &optimizer, &opts)
+            .unwrap_or_else(|e| panic!("{name} (sql): {e}"));
+        let via_builder = executor
+            .execute_logical_opts(catalog, &builder.build(), &optimizer, &opts)
+            .unwrap_or_else(|e| panic!("{name} (builder): {e}"));
+        assert_eq!(
+            via_sql.schema.len(),
+            via_builder.schema.len(),
+            "{name}: schema width"
+        );
+        if ordered {
+            assert_rows_close(name, &via_sql.rows(), &via_builder.rows());
+        } else {
+            assert_rows_close(name, &sorted(via_sql.rows()), &sorted(via_builder.rows()));
+        }
+        assert!(via_sql.row_count() > 0, "{name}: empty result");
+    }
+}
