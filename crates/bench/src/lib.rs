@@ -483,6 +483,153 @@ pub fn compare(baseline: &Json, candidate: &Json, tolerance: f64, floor_ms: f64)
     errs
 }
 
+/// One grouped-aggregation cell's scan-side throughput, extracted from a
+/// bench report by [`kernel_throughputs`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelCell {
+    pub query: String,
+    pub dop: u64,
+    pub workers: u64,
+    pub mode: String,
+    /// Peak scan-stage throughput in rows/s.
+    pub rows_per_sec: f64,
+    /// Rows scanned by the cell (for converting a throughput drop into an
+    /// implied absolute slowdown).
+    pub scan_rows: u64,
+}
+
+/// Extracts the scan throughput of every cell whose stats contain a
+/// `PartialAggregate` operator — the cells exercised by the vectorized
+/// grouped-aggregation kernels. Throughput is the peak `rows_per_sec` of
+/// the per-stage series; when the series has no samples (runs at tiny
+/// scale factors finish inside the sampler's throttle window) it falls
+/// back to the fastest `TableScan` operator's lifetime `rows_per_sec`.
+pub fn kernel_throughputs(report: &Json) -> Vec<KernelCell> {
+    fn arr(v: Option<&Json>) -> &[Json] {
+        v.and_then(Json::as_arr).unwrap_or(&[])
+    }
+    let mut out = Vec::new();
+    for q in arr(report.get("queries")) {
+        let query = q
+            .get("query")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string();
+        for cell in arr(q.get("cells")) {
+            let Some(stats) = cell.get("stats") else {
+                continue;
+            };
+            let ops = arr(stats.get("operators"));
+            let grouped = ops
+                .iter()
+                .any(|o| o.get("operator").and_then(Json::as_str) == Some("PartialAggregate"));
+            if !grouped {
+                continue;
+            }
+            let mut peak = 0.0f64;
+            for series in arr(stats.get("series")) {
+                for point in arr(series.get("points")) {
+                    if let Some(v) = point
+                        .as_arr()
+                        .and_then(|xy| xy.get(1))
+                        .and_then(Json::as_f64)
+                    {
+                        peak = peak.max(v);
+                    }
+                }
+            }
+            if peak <= 0.0 {
+                for o in ops {
+                    if o.get("operator").and_then(Json::as_str) == Some("TableScan") {
+                        if let Some(v) = o.get("rows_per_sec").and_then(Json::as_f64) {
+                            peak = peak.max(v);
+                        }
+                    }
+                }
+            }
+            if peak <= 0.0 {
+                continue;
+            }
+            out.push(KernelCell {
+                query: query.clone(),
+                dop: cell.get("dop").and_then(Json::as_u64).unwrap_or(0),
+                workers: cell.get("workers").and_then(Json::as_u64).unwrap_or(0),
+                mode: cell
+                    .get("mode")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                rows_per_sec: peak,
+                scan_rows: cell.get("scan_rows").and_then(Json::as_u64).unwrap_or(0),
+            });
+        }
+    }
+    out
+}
+
+/// Gates grouped-aggregation kernel throughput against a baseline report.
+///
+/// For every `(query, dop, workers, mode)` cell present in both reports, a
+/// regression is flagged only when the candidate's throughput is more than
+/// `tolerance` (fractional) below baseline AND the implied extra scan time
+/// (`scan_rows/candidate − scan_rows/baseline`) exceeds `floor_ms` — the
+/// same two-sided rule as [`compare`], so micro-benchmark noise at tiny
+/// scale factors cannot trip the gate. Returns the violations (empty =
+/// pass) plus a comparison artifact with one row per compared cell, meant
+/// to be uploaded by CI.
+pub fn compare_kernels(
+    baseline: &Json,
+    candidate: &Json,
+    tolerance: f64,
+    floor_ms: f64,
+) -> (Vec<String>, Json) {
+    let base = kernel_throughputs(baseline);
+    let cand = kernel_throughputs(candidate);
+    let mut errs = Vec::new();
+    let mut cells = Vec::new();
+    for b in &base {
+        let Some(c) = cand.iter().find(|c| {
+            c.query == b.query && c.dop == b.dop && c.workers == b.workers && c.mode == b.mode
+        }) else {
+            continue;
+        };
+        let ratio = c.rows_per_sec / b.rows_per_sec;
+        let extra_ms =
+            (c.scan_rows as f64 / c.rows_per_sec - c.scan_rows as f64 / b.rows_per_sec) * 1000.0;
+        let regressed = c.rows_per_sec < b.rows_per_sec * (1.0 - tolerance) && extra_ms > floor_ms;
+        if regressed {
+            errs.push(format!(
+                "{} dop={} workers={} mode={}: grouped-agg scan throughput regression \
+                 {:.0} rows/s -> {:.0} rows/s ({:.1}% of baseline, +{extra_ms:.1} ms implied)",
+                b.query,
+                b.dop,
+                b.workers,
+                b.mode,
+                b.rows_per_sec,
+                c.rows_per_sec,
+                ratio * 100.0
+            ));
+        }
+        cells.push(
+            Json::obj()
+                .with("query", Json::str(&b.query))
+                .with("dop", Json::u64(b.dop))
+                .with("workers", Json::u64(b.workers))
+                .with("mode", Json::str(&b.mode))
+                .with("baseline_rows_per_sec", Json::f64(b.rows_per_sec))
+                .with("candidate_rows_per_sec", Json::f64(c.rows_per_sec))
+                .with("ratio", Json::f64(ratio))
+                .with("implied_extra_ms", Json::f64(extra_ms))
+                .with("regressed", Json::Bool(regressed)),
+        );
+    }
+    let artifact = Json::obj()
+        .with("tolerance", Json::f64(tolerance))
+        .with("floor_ms", Json::f64(floor_ms))
+        .with("cells", Json::Arr(cells));
+    (errs, artifact)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -580,5 +727,94 @@ mod tests {
         let errs = validate(&report);
         assert!(errs.iter().any(|e| e.contains("queries")));
         assert!(errs.iter().any(|e| e.contains("tables")));
+    }
+
+    /// A minimal report with one grouped-agg cell at the given throughput
+    /// (delivered via the TableScan operator fallback — tiny runs have no
+    /// series samples) and one non-agg query the gate must ignore.
+    fn kernel_report(rows_per_sec: f64, with_series: Option<f64>) -> Json {
+        let mut series = Vec::new();
+        if let Some(v) = with_series {
+            series.push(Json::obj().with("stage", Json::u64(0)).with(
+                "points",
+                Json::Arr(vec![Json::Arr(vec![Json::f64(5.0), Json::f64(v)])]),
+            ));
+        }
+        let agg_stats = Json::obj()
+            .with(
+                "operators",
+                Json::Arr(vec![
+                    Json::obj()
+                        .with("operator", Json::str("TableScan"))
+                        .with("rows_per_sec", Json::f64(rows_per_sec)),
+                    Json::obj().with("operator", Json::str("PartialAggregate")),
+                ]),
+            )
+            .with("series", Json::Arr(series));
+        let cell = |stats: Json| {
+            Json::obj()
+                .with("dop", Json::u64(4))
+                .with("workers", Json::u64(4))
+                .with("mode", Json::str("off"))
+                .with("scan_rows", Json::u64(60_000))
+                .with("stats", stats)
+        };
+        let scan_only_stats = Json::obj()
+            .with(
+                "operators",
+                Json::Arr(vec![Json::obj()
+                    .with("operator", Json::str("TableScan"))
+                    .with("rows_per_sec", Json::f64(1.0))]),
+            )
+            .with("series", Json::Arr(vec![]));
+        Json::obj().with(
+            "queries",
+            Json::Arr(vec![
+                Json::obj()
+                    .with("query", Json::str("q1"))
+                    .with("cells", Json::Arr(vec![cell(agg_stats)])),
+                Json::obj()
+                    .with("query", Json::str("top_orders"))
+                    .with("cells", Json::Arr(vec![cell(scan_only_stats)])),
+            ]),
+        )
+    }
+
+    #[test]
+    fn kernel_throughputs_picks_agg_cells_with_series_peak_and_fallback() {
+        // Series present: its peak wins over the operator counter.
+        let cells = kernel_throughputs(&kernel_report(100.0, Some(250.0)));
+        assert_eq!(cells.len(), 1, "non-agg query ignored");
+        assert_eq!(cells[0].query, "q1");
+        assert_eq!(cells[0].rows_per_sec, 250.0);
+        // No series samples: falls back to the TableScan counter.
+        let cells = kernel_throughputs(&kernel_report(100.0, None));
+        assert_eq!(cells[0].rows_per_sec, 100.0);
+        assert_eq!(cells[0].scan_rows, 60_000);
+    }
+
+    #[test]
+    fn compare_kernels_gates_on_tolerance_and_floor() {
+        let base = kernel_report(1_000_000.0, None);
+        // 30% slower AND well past a 1 ms floor (60k rows: 60 ms -> 86 ms).
+        let slow = kernel_report(700_000.0, None);
+        let (errs, artifact) = compare_kernels(&base, &slow, 0.2, 1.0);
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert!(errs[0].contains("q1"), "{errs:?}");
+        let cells = artifact.get("cells").unwrap().as_arr().unwrap();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].get("regressed").unwrap().as_bool(), Some(true));
+
+        // Same drop but under the absolute floor: not a regression.
+        let (errs, _) = compare_kernels(&base, &slow, 0.2, 1_000.0);
+        assert!(errs.is_empty(), "{errs:?}");
+        // Within tolerance: not a regression even with a zero floor.
+        let (errs, _) = compare_kernels(&base, &kernel_report(900_000.0, None), 0.2, 0.0);
+        assert!(errs.is_empty(), "{errs:?}");
+        // Faster candidate passes trivially.
+        let (errs, artifact) = compare_kernels(&base, &kernel_report(2_000_000.0, None), 0.2, 0.0);
+        assert!(errs.is_empty());
+        let cells = artifact.get("cells").unwrap().as_arr().unwrap();
+        assert_eq!(cells[0].get("regressed").unwrap().as_bool(), Some(false));
     }
 }

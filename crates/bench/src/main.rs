@@ -7,6 +7,7 @@
 //!     [--modes off,forced-grow,auto] [--warmup 1] [--repeats 3]
 //!     [--page-rows 256] [--compare BASELINE.json] [--tolerance 0.2]
 //!     [--floor-ms 50] [--check FILE]
+//!     [--kernels-baseline FILE --kernels-candidate FILE [--kernels-out FILE]]
 //! ```
 //!
 //! `--check FILE` only validates an existing report against the schema and
@@ -14,11 +15,17 @@
 //! and — when `--compare` names a baseline — the candidate is gated
 //! against it: exact on deterministic counters, tolerance + absolute floor
 //! on wall-clock medians. Exit status is non-zero on any violation.
+//!
+//! `--kernels-baseline`/`--kernels-candidate` compare two **existing**
+//! reports on grouped-aggregation scan throughput (cells whose stats
+//! contain a `PartialAggregate` operator) and exit — no benchmark runs.
+//! The gate uses the same `--tolerance`/`--floor-ms` two-sided rule as
+//! `--compare`; `--kernels-out` writes the per-cell comparison artifact.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use accordion_bench::{compare, run, validate, BenchOptions};
+use accordion_bench::{compare, compare_kernels, run, validate, BenchOptions};
 use accordion_common::Json;
 
 struct Cli {
@@ -28,6 +35,9 @@ struct Cli {
     baseline: Option<PathBuf>,
     tolerance: f64,
     floor_ms: f64,
+    kernels_baseline: Option<PathBuf>,
+    kernels_candidate: Option<PathBuf>,
+    kernels_out: Option<PathBuf>,
 }
 
 fn usage() -> ! {
@@ -35,7 +45,8 @@ fn usage() -> ! {
         "usage: accordion-bench [--sf F] [--seed N] [--queries all|q1,q3,q6,top_orders]\n\
          \x20    [--name NAME] [--out DIR] [--dops LIST] [--workers LIST] [--modes LIST]\n\
          \x20    [--warmup N] [--repeats N] [--page-rows N]\n\
-         \x20    [--compare BASELINE.json] [--tolerance F] [--floor-ms F] [--check FILE]"
+         \x20    [--compare BASELINE.json] [--tolerance F] [--floor-ms F] [--check FILE]\n\
+         \x20    [--kernels-baseline FILE --kernels-candidate FILE [--kernels-out FILE]]"
     );
     std::process::exit(2);
 }
@@ -60,6 +71,9 @@ fn parse_args() -> Cli {
         baseline: None,
         tolerance: 0.2,
         floor_ms: 50.0,
+        kernels_baseline: None,
+        kernels_candidate: None,
+        kernels_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -92,6 +106,9 @@ fn parse_args() -> Cli {
             "--tolerance" => cli.tolerance = value.parse().unwrap_or_else(|_| usage()),
             "--floor-ms" => cli.floor_ms = value.parse().unwrap_or_else(|_| usage()),
             "--check" => cli.check = Some(PathBuf::from(value)),
+            "--kernels-baseline" => cli.kernels_baseline = Some(PathBuf::from(value)),
+            "--kernels-candidate" => cli.kernels_candidate = Some(PathBuf::from(value)),
+            "--kernels-out" => cli.kernels_out = Some(PathBuf::from(value)),
             _ => {
                 eprintln!("accordion-bench: unknown flag {flag}");
                 usage();
@@ -111,8 +128,72 @@ fn load_json(path: &PathBuf) -> Result<Json, String> {
     Json::parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))
 }
 
+/// Kernel-throughput gate over two existing reports (no benchmark run).
+fn run_kernel_gate(cli: &Cli, base_path: &PathBuf, cand_path: &PathBuf) -> ExitCode {
+    let (baseline, candidate) = match (load_json(base_path), load_json(cand_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("accordion-bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (issues, artifact) = compare_kernels(&baseline, &candidate, cli.tolerance, cli.floor_ms);
+    if let Some(out) = &cli.kernels_out {
+        if let Err(e) = std::fs::write(out, artifact.to_string_pretty()) {
+            eprintln!("accordion-bench: write {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", out.display());
+    }
+    let cells = artifact.get("cells").and_then(Json::as_arr);
+    for cell in cells.into_iter().flatten() {
+        println!(
+            "{:>10}  dop={} workers={} mode={:<12} {:>12.0} -> {:>12.0} rows/s ({:.1}%)",
+            cell.get("query").and_then(Json::as_str).unwrap_or("?"),
+            cell.get("dop").and_then(Json::as_u64).unwrap_or(0),
+            cell.get("workers").and_then(Json::as_u64).unwrap_or(0),
+            cell.get("mode").and_then(Json::as_str).unwrap_or("?"),
+            cell.get("baseline_rows_per_sec")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+            cell.get("candidate_rows_per_sec")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+            cell.get("ratio").and_then(Json::as_f64).unwrap_or(0.0) * 100.0,
+        );
+    }
+    if cells.is_none_or(|c| c.is_empty()) {
+        // A gate that silently compares nothing would hide kernel
+        // regressions forever; make the misconfiguration loud.
+        eprintln!("accordion-bench: no grouped-aggregation cells in common — nothing gated");
+        return ExitCode::FAILURE;
+    }
+    if !issues.is_empty() {
+        for i in &issues {
+            eprintln!("kernel regression vs {}: {i}", base_path.display());
+        }
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "kernels: no grouped-agg throughput regressions vs {} (tolerance {:.0}%, floor {} ms)",
+        base_path.display(),
+        cli.tolerance * 100.0,
+        cli.floor_ms
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let cli = parse_args();
+
+    // Kernel-gate-only mode: compare two existing reports and exit.
+    if let (Some(b), Some(c)) = (cli.kernels_baseline.clone(), cli.kernels_candidate.clone()) {
+        return run_kernel_gate(&cli, &b, &c);
+    }
+    if cli.kernels_baseline.is_some() || cli.kernels_candidate.is_some() {
+        eprintln!("accordion-bench: --kernels-baseline and --kernels-candidate go together");
+        usage();
+    }
 
     // Validation-only mode.
     if let Some(path) = &cli.check {

@@ -139,6 +139,21 @@ impl Utf8Column {
     }
 }
 
+/// Builds a validity bitmap from a nulls mask — `None` when fully valid
+/// (the all-valid fast path skips the bitmap entirely).
+fn validity_from_nulls(nulls: &[bool]) -> Option<Arc<Validity>> {
+    if !nulls.iter().any(|&n| n) {
+        return None;
+    }
+    let mut v = Validity::new_all_valid(nulls.len());
+    for (i, &n) in nulls.iter().enumerate() {
+        if n {
+            v.set(i, false);
+        }
+    }
+    Some(Arc::new(v))
+}
+
 impl Column {
     pub fn from_i64(vals: Vec<i64>) -> Self {
         Column::Int64(Arc::new(vals), None)
@@ -158,6 +173,40 @@ impl Column {
 
     pub fn from_strings<S: AsRef<str>>(vals: &[S]) -> Self {
         Column::Utf8(Arc::new(Utf8Column::from_strings(vals)), None)
+    }
+
+    /// Typed constructors taking a parallel nulls mask (`nulls[i]` ⇒ row `i`
+    /// is NULL; its data slot is a don't-care). These let kernels build
+    /// output columns straight from accumulator vectors without a
+    /// per-value [`ColumnBuilder`] round trip.
+    pub fn from_i64_nullable(vals: Vec<i64>, nulls: &[bool]) -> Self {
+        debug_assert_eq!(vals.len(), nulls.len());
+        let v = validity_from_nulls(nulls);
+        Column::Int64(Arc::new(vals), v)
+    }
+
+    pub fn from_f64_nullable(vals: Vec<f64>, nulls: &[bool]) -> Self {
+        debug_assert_eq!(vals.len(), nulls.len());
+        let v = validity_from_nulls(nulls);
+        Column::Float64(Arc::new(vals), v)
+    }
+
+    pub fn from_bool_nullable(vals: Vec<bool>, nulls: &[bool]) -> Self {
+        debug_assert_eq!(vals.len(), nulls.len());
+        let v = validity_from_nulls(nulls);
+        Column::Bool(Arc::new(vals), v)
+    }
+
+    pub fn from_date32_nullable(vals: Vec<i32>, nulls: &[bool]) -> Self {
+        debug_assert_eq!(vals.len(), nulls.len());
+        let v = validity_from_nulls(nulls);
+        Column::Date32(Arc::new(vals), v)
+    }
+
+    pub fn from_utf8_nullable(vals: Utf8Column, nulls: &[bool]) -> Self {
+        debug_assert_eq!(vals.len(), nulls.len());
+        let v = validity_from_nulls(nulls);
+        Column::Utf8(Arc::new(vals), v)
     }
 
     pub fn data_type(&self) -> DataType {
@@ -555,6 +604,25 @@ mod tests {
     fn builder_rejects_wrong_type() {
         let mut b = ColumnBuilder::new(DataType::Int64, 1);
         b.push(Value::Utf8("oops".into()));
+    }
+
+    #[test]
+    fn nullable_constructors_build_validity_lazily() {
+        let c = Column::from_i64_nullable(vec![1, 2], &[false, false]);
+        assert!(c.validity().is_none(), "all-valid column carries no bitmap");
+        let c = Column::from_f64_nullable(vec![1.0, 0.0], &[false, true]);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.value(0), Value::Float64(1.0));
+        assert_eq!(c.value(1), Value::Null);
+        let c = Column::from_date32_nullable(vec![9, 0], &[false, true]);
+        assert_eq!(c.value(0), Value::Date32(9));
+        assert_eq!(c.value(1), Value::Null);
+        let c = Column::from_bool_nullable(vec![true, false], &[true, false]);
+        assert_eq!(c.value(0), Value::Null);
+        assert_eq!(c.value(1), Value::Bool(false));
+        let c = Column::from_utf8_nullable(Utf8Column::from_strings(&["x", ""]), &[false, true]);
+        assert_eq!(c.value(0), Value::Utf8("x".into()));
+        assert_eq!(c.value(1), Value::Null);
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Open-addressing hash table over encoded row keys.
+//!
+//! [`GroupTable`] is the raw table behind grouped aggregation and the join
+//! build side: `(hash, group_id)` slots probed quadratically, growing at
+//! power-of-two capacities, with the key bytes themselves append-only in an
+//! internal key arena. Callers hash whole pages with
+//! [`crate::hash::hash_columns`], encode each row's key into one amortized
+//! scratch buffer ([`crate::rowkey::encode_key_into`]) and probe — no
+//! per-row `Vec<u8>` allocation and no tree rebalancing on the hot path.
+//!
+//! The table does not order its groups; [`GroupTable::sorted_ids`] returns
+//! group ids sorted by their encoded key bytes, which is exactly the
+//! iteration order of the `BTreeMap<Vec<u8>, _>` it replaced — operators
+//! that emit groups in this order keep deterministic, history-independent
+//! output.
+
+/// Append-only storage for the distinct encoded keys, one contiguous byte
+/// buffer plus offsets (same layout idea as the Utf8 column).
+#[derive(Debug, Default)]
+struct KeyArena {
+    bytes: Vec<u8>,
+    /// `offsets.len() == groups + 1`; group `g` spans
+    /// `bytes[offsets[g]..offsets[g+1]]`.
+    offsets: Vec<u32>,
+}
+
+impl KeyArena {
+    fn new() -> Self {
+        KeyArena {
+            bytes: Vec::new(),
+            offsets: vec![0],
+        }
+    }
+
+    #[inline]
+    fn key(&self, group: u32) -> &[u8] {
+        let g = group as usize;
+        &self.bytes[self.offsets[g] as usize..self.offsets[g + 1] as usize]
+    }
+
+    #[inline]
+    fn push(&mut self, key: &[u8]) -> u32 {
+        let id = (self.offsets.len() - 1) as u32;
+        self.bytes.extend_from_slice(key);
+        self.offsets.push(self.bytes.len() as u32);
+        id
+    }
+
+    fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+}
+
+/// One slot: the full 64-bit hash (cheap early-out on probe) and the group
+/// id it maps to. `EMPTY` marks an unused slot.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    hash: u64,
+    group: u32,
+}
+
+const EMPTY: u32 = u32::MAX;
+
+/// Open-addressing raw hash table mapping encoded keys to dense group ids
+/// (`0..len()`), insertion-ordered.
+#[derive(Debug)]
+pub struct GroupTable {
+    slots: Vec<Slot>,
+    arena: KeyArena,
+    /// Capacity mask; `slots.len()` is always a power of two.
+    mask: usize,
+}
+
+impl GroupTable {
+    pub fn new() -> Self {
+        GroupTable::with_capacity(16)
+    }
+
+    pub fn with_capacity(groups: usize) -> Self {
+        let cap = (groups * 2).next_power_of_two().max(16);
+        GroupTable {
+            slots: vec![
+                Slot {
+                    hash: 0,
+                    group: EMPTY
+                };
+                cap
+            ],
+            arena: KeyArena::new(),
+            mask: cap - 1,
+        }
+    }
+
+    /// Number of distinct keys inserted so far.
+    pub fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The encoded key bytes of a group id.
+    #[inline]
+    pub fn key(&self, group: u32) -> &[u8] {
+        self.arena.key(group)
+    }
+
+    /// Looks `key` up, inserting a fresh group id on miss.
+    #[inline]
+    pub fn insert(&mut self, hash: u64, key: &[u8]) -> u32 {
+        if (self.len() + 1) * 2 > self.slots.len() {
+            self.grow();
+        }
+        let mut idx = hash as usize & self.mask;
+        let mut step = 0usize;
+        loop {
+            let slot = self.slots[idx];
+            if slot.group == EMPTY {
+                let group = self.arena.push(key);
+                self.slots[idx] = Slot { hash, group };
+                return group;
+            }
+            if slot.hash == hash && self.arena.key(slot.group) == key {
+                return slot.group;
+            }
+            // Quadratic probing: triangular steps visit every slot of a
+            // power-of-two table exactly once.
+            step += 1;
+            idx = (idx + step) & self.mask;
+        }
+    }
+
+    /// Read-only lookup (join probe side).
+    #[inline]
+    pub fn get(&self, hash: u64, key: &[u8]) -> Option<u32> {
+        let mut idx = hash as usize & self.mask;
+        let mut step = 0usize;
+        loop {
+            let slot = self.slots[idx];
+            if slot.group == EMPTY {
+                return None;
+            }
+            if slot.hash == hash && self.arena.key(slot.group) == key {
+                return Some(slot.group);
+            }
+            step += 1;
+            idx = (idx + step) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.slots.len() * 2;
+        let old = std::mem::replace(
+            &mut self.slots,
+            vec![
+                Slot {
+                    hash: 0,
+                    group: EMPTY
+                };
+                new_cap
+            ],
+        );
+        self.mask = new_cap - 1;
+        for slot in old {
+            if slot.group == EMPTY {
+                continue;
+            }
+            let mut idx = slot.hash as usize & self.mask;
+            let mut step = 0usize;
+            while self.slots[idx].group != EMPTY {
+                step += 1;
+                idx = (idx + step) & self.mask;
+            }
+            self.slots[idx] = slot;
+        }
+    }
+
+    /// Group ids sorted by encoded key bytes — the deterministic emission
+    /// order (identical to iterating the replaced `BTreeMap<Vec<u8>, _>`).
+    pub fn sorted_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = (0..self.len() as u32).collect();
+        ids.sort_unstable_by(|&a, &b| self.arena.key(a).cmp(self.arena.key(b)));
+        ids
+    }
+}
+
+impl Default for GroupTable {
+    fn default() -> Self {
+        GroupTable::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(key: &[u8]) -> u64 {
+        // Any deterministic stand-in hash works for table mechanics.
+        key.iter().fold(0x9E37u64, |acc, &b| {
+            (acc ^ b as u64).wrapping_mul(0x100000001b3)
+        })
+    }
+
+    #[test]
+    fn insert_dedups_and_ids_are_dense() {
+        let mut t = GroupTable::new();
+        let a = t.insert(h(b"a"), b"a");
+        let b = t.insert(h(b"b"), b"b");
+        let a2 = t.insert(h(b"a"), b"a");
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(a2, a);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.key(a), b"a");
+        assert_eq!(t.key(b), b"b");
+    }
+
+    #[test]
+    fn get_finds_only_inserted() {
+        let mut t = GroupTable::new();
+        t.insert(h(b"k1"), b"k1");
+        assert_eq!(t.get(h(b"k1"), b"k1"), Some(0));
+        assert_eq!(t.get(h(b"k2"), b"k2"), None);
+    }
+
+    #[test]
+    fn survives_growth_past_initial_capacity() {
+        let mut t = GroupTable::with_capacity(1);
+        let keys: Vec<Vec<u8>> = (0..10_000i64).map(|i| i.to_le_bytes().to_vec()).collect();
+        for k in &keys {
+            t.insert(h(k), k);
+        }
+        assert_eq!(t.len(), keys.len());
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(t.get(h(k), k), Some(i as u32), "key {i} lost in growth");
+            assert_eq!(t.key(i as u32), k.as_slice());
+        }
+        // Re-inserting returns the existing ids.
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(t.insert(h(k), k), i as u32);
+        }
+    }
+
+    #[test]
+    fn colliding_hashes_stay_distinct_keys() {
+        let mut t = GroupTable::new();
+        // Same hash, different bytes: full-key comparison must disambiguate.
+        let a = t.insert(42, b"left");
+        let b = t.insert(42, b"right");
+        assert_ne!(a, b);
+        assert_eq!(t.get(42, b"left"), Some(a));
+        assert_eq!(t.get(42, b"right"), Some(b));
+        assert_eq!(t.get(42, b"missing"), None);
+    }
+
+    #[test]
+    fn sorted_ids_order_by_key_bytes() {
+        let mut t = GroupTable::new();
+        t.insert(h(b"zz"), b"zz");
+        t.insert(h(b"a"), b"a");
+        t.insert(h(b"mm"), b"mm");
+        let order = t.sorted_ids();
+        let keys: Vec<&[u8]> = order.iter().map(|&g| t.key(g)).collect();
+        assert_eq!(keys, vec![b"a".as_slice(), b"mm", b"zz"]);
+    }
+
+    #[test]
+    fn empty_key_is_a_valid_group() {
+        let mut t = GroupTable::new();
+        let g = t.insert(7, b"");
+        assert_eq!(t.insert(7, b""), g);
+        assert_eq!(t.key(g), b"");
+        assert_eq!(t.sorted_ids(), vec![0]);
+    }
+}

@@ -11,6 +11,7 @@ use crate::column::Column;
 use crate::page::DataPage;
 
 const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+const NULL_SENTINEL: u64 = 0xDEAD_BEEF_0BAD_F00D;
 
 #[inline]
 fn mix(mut h: u64, v: u64) -> u64 {
@@ -32,7 +33,7 @@ fn finalize(mut h: u64) -> u64 {
 #[inline]
 fn hash_cell(col: &Column, row: usize, acc: u64) -> u64 {
     if !col.is_valid(row) {
-        return mix(acc, 0xDEAD_BEEF_0BAD_F00D);
+        return mix(acc, NULL_SENTINEL);
     }
     match col {
         Column::Int64(v, _) => mix(acc, v[row] as u64),
@@ -52,20 +53,116 @@ fn hash_cell(col: &Column, row: usize, acc: u64) -> u64 {
     }
 }
 
-/// Hashes the key columns (`key_indices`) of every row in `page`.
-pub fn hash_rows(page: &DataPage, key_indices: &[usize]) -> Vec<u64> {
-    let n = page.row_count();
-    let mut hashes = vec![SEED; n];
+/// Scalar reference: hashes the key cells of one row. Kept as the
+/// cross-check target for the vectorized [`hash_columns`] kernels — both
+/// must produce bit-identical output for every input.
+pub fn hash_row(page: &DataPage, key_indices: &[usize], row: usize) -> u64 {
+    let mut h = SEED;
     for &ki in key_indices {
-        let col = page.column(ki);
-        for (row, h) in hashes.iter_mut().enumerate() {
-            *h = hash_cell(col, row, *h);
+        h = hash_cell(page.column(ki), row, h);
+    }
+    finalize(h)
+}
+
+/// Folds one whole column into the per-row accumulators, column at a time.
+///
+/// The fixed-width types run a branch-light inner loop: with no validity
+/// bitmap it is a straight `mix` over the typed vector; with one, the null
+/// sentinel is selected per row without branching on the data path. Utf8
+/// stays per-row (variable width is not a kernel target).
+fn hash_column_into(col: &Column, hashes: &mut [u64]) {
+    match (col, col.validity()) {
+        (Column::Int64(v, _), None) => {
+            for (h, &x) in hashes.iter_mut().zip(v.iter()) {
+                *h = mix(*h, x as u64);
+            }
         }
+        (Column::Int64(v, _), Some(valid)) => {
+            for (i, (h, &x)) in hashes.iter_mut().zip(v.iter()).enumerate() {
+                let word = if valid.is_valid(i) {
+                    x as u64
+                } else {
+                    NULL_SENTINEL
+                };
+                *h = mix(*h, word);
+            }
+        }
+        (Column::Date32(v, _), None) => {
+            for (h, &x) in hashes.iter_mut().zip(v.iter()) {
+                *h = mix(*h, x as u64);
+            }
+        }
+        (Column::Date32(v, _), Some(valid)) => {
+            for (i, (h, &x)) in hashes.iter_mut().zip(v.iter()).enumerate() {
+                let word = if valid.is_valid(i) {
+                    x as u64
+                } else {
+                    NULL_SENTINEL
+                };
+                *h = mix(*h, word);
+            }
+        }
+        (Column::Bool(v, _), None) => {
+            for (h, &x) in hashes.iter_mut().zip(v.iter()) {
+                *h = mix(*h, x as u64 + 1);
+            }
+        }
+        (Column::Bool(v, _), Some(valid)) => {
+            for (i, (h, &x)) in hashes.iter_mut().zip(v.iter()).enumerate() {
+                let word = if valid.is_valid(i) {
+                    x as u64 + 1
+                } else {
+                    NULL_SENTINEL
+                };
+                *h = mix(*h, word);
+            }
+        }
+        (Column::Float64(v, _), None) => {
+            for (h, &x) in hashes.iter_mut().zip(v.iter()) {
+                *h = mix(*h, x.to_bits());
+            }
+        }
+        (Column::Float64(v, _), Some(valid)) => {
+            for (i, (h, &x)) in hashes.iter_mut().zip(v.iter()).enumerate() {
+                let word = if valid.is_valid(i) {
+                    x.to_bits()
+                } else {
+                    NULL_SENTINEL
+                };
+                *h = mix(*h, word);
+            }
+        }
+        (Column::Utf8(..), _) => {
+            for (row, h) in hashes.iter_mut().enumerate() {
+                *h = hash_cell(col, row, *h);
+            }
+        }
+    }
+}
+
+/// Vectorized hash kernel: hashes the row tuples formed by `cols`,
+/// column at a time, returning one finalized hash per row.
+///
+/// Bit-identical to [`hash_row`] over the same cells — the stable mix is
+/// part of the engine contract (§4.2.1 repartitioning must route a row to
+/// the same partition at any DOP), so the vectorized and scalar paths may
+/// never diverge.
+pub fn hash_columns(cols: &[&Column], row_count: usize) -> Vec<u64> {
+    let mut hashes = vec![SEED; row_count];
+    for col in cols {
+        debug_assert_eq!(col.len(), row_count);
+        hash_column_into(col, &mut hashes);
     }
     for h in hashes.iter_mut() {
         *h = finalize(*h);
     }
     hashes
+}
+
+/// Hashes the key columns (`key_indices`) of every row in `page`.
+pub fn hash_rows(page: &DataPage, key_indices: &[usize]) -> Vec<u64> {
+    let cols: Vec<&Column> = key_indices.iter().map(|&ki| page.column(ki)).collect();
+    hash_columns(&cols, page.row_count())
 }
 
 /// Maps a hash to one of `partitions` buckets. A partition count of zero is
@@ -205,5 +302,52 @@ mod tests {
         let h = hash_rows(&p, &[0]);
         assert_eq!(h[0], h[1]);
         assert_ne!(h[0], h[2]);
+    }
+
+    #[test]
+    fn hash_columns_matches_scalar_hash_row() {
+        use crate::column::ColumnBuilder;
+        use crate::types::{DataType, Value};
+        let mut ints = ColumnBuilder::new(DataType::Int64, 5);
+        for v in [
+            Value::Int64(3),
+            Value::Null,
+            Value::Int64(-9),
+            Value::Int64(i64::MAX),
+            Value::Int64(0),
+        ] {
+            ints.push(v);
+        }
+        let mut floats = ColumnBuilder::new(DataType::Float64, 5);
+        for v in [
+            Value::Float64(0.5),
+            Value::Float64(-0.0),
+            Value::Null,
+            Value::Float64(f64::INFINITY),
+            Value::Float64(1e300),
+        ] {
+            floats.push(v);
+        }
+        let p = DataPage::new(vec![
+            ints.finish(),
+            floats.finish(),
+            Column::from_bool(vec![true, false, true, false, true]),
+            Column::from_date32(vec![0, -1, 10000, 5, 5]),
+            Column::from_strings(&["", "a", "abcdefgh", "abcdefghi", "ü"]),
+        ]);
+        let keys = [0usize, 1, 2, 3, 4];
+        let vectorized = hash_rows(&p, &keys);
+        for (row, &h) in vectorized.iter().enumerate() {
+            assert_eq!(h, hash_row(&p, &keys, row), "row {row}");
+        }
+    }
+
+    #[test]
+    fn empty_key_hash_is_uniform() {
+        let p = key_page(vec![1, 2, 3]);
+        let h = hash_rows(&p, &[]);
+        assert_eq!(h[0], h[1]);
+        assert_eq!(h[1], h[2]);
+        assert_eq!(h[0], hash_row(&p, &[], 0));
     }
 }

@@ -14,8 +14,11 @@
 //! * [`sort`] — multi-column comparators, sorting and Top-N selection.
 //! * [`rowkey`] — compact byte encodings of key columns for group-by and
 //!   join hash tables.
+//! * [`grouptable`] — the open-addressing raw table over encoded keys that
+//!   grouped aggregation and join builds share.
 
 pub mod column;
+pub mod grouptable;
 pub mod hash;
 pub mod page;
 pub mod rowkey;

@@ -6,8 +6,9 @@
 //! The encoding is injective (length-prefixed strings, tagged nulls), so
 //! byte equality ⇔ key-tuple equality.
 
-use crate::column::Column;
+use crate::column::{Column, Utf8Column};
 use crate::page::DataPage;
+use crate::types::DataType;
 
 const TAG_NULL: u8 = 0;
 const TAG_VALUE: u8 = 1;
@@ -50,6 +51,120 @@ pub fn encode_keys(page: &DataPage, key_indices: &[usize]) -> Vec<Vec<u8>> {
         .collect()
 }
 
+/// Mutable typed decode buffers, one per key column.
+enum KeyDecoder {
+    Int64(Vec<i64>, Vec<bool>),
+    Float64(Vec<f64>, Vec<bool>),
+    Bool(Vec<bool>, Vec<bool>),
+    Date32(Vec<i32>, Vec<bool>),
+    Utf8(Utf8Column, Vec<bool>),
+}
+
+impl KeyDecoder {
+    fn new(dt: DataType, capacity: usize) -> Self {
+        match dt {
+            DataType::Int64 => KeyDecoder::Int64(Vec::with_capacity(capacity), Vec::new()),
+            DataType::Float64 => KeyDecoder::Float64(Vec::with_capacity(capacity), Vec::new()),
+            DataType::Bool => KeyDecoder::Bool(Vec::with_capacity(capacity), Vec::new()),
+            DataType::Date32 => KeyDecoder::Date32(Vec::with_capacity(capacity), Vec::new()),
+            DataType::Utf8 => KeyDecoder::Utf8(Utf8Column::default(), Vec::new()),
+        }
+    }
+
+    /// Consumes one cell starting at `key[at]`; returns the next cursor.
+    fn decode_cell(&mut self, key: &[u8], at: usize) -> usize {
+        let tag = key[at];
+        let at = at + 1;
+        if tag == TAG_NULL {
+            match self {
+                KeyDecoder::Int64(d, n) => {
+                    d.push(0);
+                    n.push(true);
+                }
+                KeyDecoder::Float64(d, n) => {
+                    d.push(0.0);
+                    n.push(true);
+                }
+                KeyDecoder::Bool(d, n) => {
+                    d.push(false);
+                    n.push(true);
+                }
+                KeyDecoder::Date32(d, n) => {
+                    d.push(0);
+                    n.push(true);
+                }
+                KeyDecoder::Utf8(d, n) => {
+                    d.push("");
+                    n.push(true);
+                }
+            }
+            return at;
+        }
+        debug_assert_eq!(tag, TAG_VALUE, "corrupt key encoding: bad tag");
+        match self {
+            KeyDecoder::Int64(d, n) => {
+                d.push(i64::from_le_bytes(key[at..at + 8].try_into().unwrap()));
+                n.push(false);
+                at + 8
+            }
+            KeyDecoder::Float64(d, n) => {
+                let bits = u64::from_le_bytes(key[at..at + 8].try_into().unwrap());
+                d.push(f64::from_bits(bits));
+                n.push(false);
+                at + 8
+            }
+            KeyDecoder::Bool(d, n) => {
+                d.push(key[at] != 0);
+                n.push(false);
+                at + 1
+            }
+            KeyDecoder::Date32(d, n) => {
+                d.push(i32::from_le_bytes(key[at..at + 4].try_into().unwrap()));
+                n.push(false);
+                at + 4
+            }
+            KeyDecoder::Utf8(d, n) => {
+                let len = u32::from_le_bytes(key[at..at + 4].try_into().unwrap()) as usize;
+                let at = at + 4;
+                d.push(std::str::from_utf8(&key[at..at + len]).expect("corrupt utf8 in key"));
+                n.push(false);
+                at + len
+            }
+        }
+    }
+
+    fn finish(self) -> Column {
+        match self {
+            KeyDecoder::Int64(d, n) => Column::from_i64_nullable(d, &n),
+            KeyDecoder::Float64(d, n) => Column::from_f64_nullable(d, &n),
+            KeyDecoder::Bool(d, n) => Column::from_bool_nullable(d, &n),
+            KeyDecoder::Date32(d, n) => Column::from_date32_nullable(d, &n),
+            KeyDecoder::Utf8(d, n) => Column::from_utf8_nullable(d, &n),
+        }
+    }
+}
+
+/// Decodes a sequence of encoded keys back into one typed column per key
+/// field — the inverse of [`encode_key_into`] for a known type layout.
+/// Aggregation emits its group-key output columns through this, straight
+/// from the hash table's key arena, with no per-cell `Value` boxing.
+pub fn decode_keys_to_columns<'a>(
+    keys: impl Iterator<Item = &'a [u8]>,
+    types: &[DataType],
+    count: usize,
+) -> Vec<Column> {
+    let mut decoders: Vec<KeyDecoder> =
+        types.iter().map(|&dt| KeyDecoder::new(dt, count)).collect();
+    for key in keys {
+        let mut at = 0;
+        for d in decoders.iter_mut() {
+            at = d.decode_cell(key, at);
+        }
+        debug_assert_eq!(at, key.len(), "key not fully consumed");
+    }
+    decoders.into_iter().map(KeyDecoder::finish).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,6 +204,47 @@ mod tests {
         let p = DataPage::new(vec![b.finish()]);
         let keys = encode_keys(&p, &[0]);
         assert_ne!(keys[0], keys[1]);
+    }
+
+    #[test]
+    fn decode_round_trips_all_types_with_nulls() {
+        use crate::types::Value;
+        let mut ints = ColumnBuilder::new(DataType::Int64, 3);
+        ints.push(Value::Int64(-5));
+        ints.push(Value::Null);
+        ints.push(Value::Int64(i64::MAX));
+        let mut strs = ColumnBuilder::new(DataType::Utf8, 3);
+        strs.push(Value::Utf8("ab".into()));
+        strs.push(Value::Utf8("".into()));
+        strs.push(Value::Null);
+        let p = DataPage::new(vec![
+            ints.finish(),
+            Column::from_f64(vec![0.5, -0.0, f64::INFINITY]),
+            Column::from_bool(vec![true, false, true]),
+            Column::from_date32(vec![0, -400, 12345]),
+            strs.finish(),
+        ]);
+        let kis = [0usize, 1, 2, 3, 4];
+        let types = [
+            DataType::Int64,
+            DataType::Float64,
+            DataType::Bool,
+            DataType::Date32,
+            DataType::Utf8,
+        ];
+        let keys = encode_keys(&p, &kis);
+        let cols = decode_keys_to_columns(keys.iter().map(|k| k.as_slice()), &types, keys.len());
+        assert_eq!(cols.len(), types.len());
+        for (ci, col) in cols.iter().enumerate() {
+            assert_eq!(col.data_type(), types[ci]);
+            for row in 0..p.row_count() {
+                assert_eq!(
+                    col.value(row),
+                    p.column(ci).value(row),
+                    "col {ci} row {row}"
+                );
+            }
+        }
     }
 
     #[test]

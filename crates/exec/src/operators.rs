@@ -8,22 +8,30 @@
 //! and then emit their buffered result.
 //!
 //! Aggregation follows the paper's two-phase model exactly: the partial
-//! operator serializes [`AggState`]s into ordinary page columns, the final
-//! operator merges them (possibly from many upstream tasks) and emits the
-//! finished values. Group iteration uses a `BTreeMap` keyed by the injective
-//! row-key encoding, so output order is deterministic for a given input set
-//! regardless of page arrival order.
+//! operator serializes aggregate state into ordinary page columns, the
+//! final operator merges them (possibly from many upstream tasks) and emits
+//! the finished values. Both phases run on the vectorized hash engine:
+//! pages are hashed column-at-a-time ([`accordion_data::hash::hash_columns`]),
+//! rows are mapped to dense group ids by an open-addressing
+//! [`GroupTable`], and typed [`AggAccumulator`] vectors are updated with
+//! per-column kernels — no per-row `Value` materialization on the hot
+//! path. Groups are emitted sorted by their encoded key bytes (the
+//! iteration order of the `BTreeMap` this engine replaced), so output is
+//! deterministic for a given input set regardless of page arrival order.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use accordion_common::{AccordionError, Result};
+use accordion_data::column::Column;
+use accordion_data::grouptable::GroupTable;
+use accordion_data::hash::{hash_columns, hash_rows};
 use accordion_data::page::{DataPage, EndReason, Page, PageBuilder};
-use accordion_data::rowkey::encode_key;
+use accordion_data::rowkey::{decode_keys_to_columns, encode_key_into};
 use accordion_data::schema::{Schema, SchemaRef};
 use accordion_data::sort::{sort_page, SortKey, TopNAccumulator};
-use accordion_data::types::Value;
-use accordion_expr::agg::{AggSpec, AggState};
+use accordion_data::types::{DataType, Value};
+use accordion_expr::agg::{AggAccumulator, AggSpec};
 use accordion_expr::scalar::Expr;
 use accordion_storage::split::{Split, SplitPages};
 
@@ -223,9 +231,100 @@ impl PageStream for LimitOp {
 // Aggregation
 // ---------------------------------------------------------------------------
 
-struct Group {
-    values: Vec<Value>,
-    states: Vec<AggState>,
+/// Maps each row of a page to a dense group id: hash every key column at
+/// once with the vectorized kernels, then encode each row's key into one
+/// amortized scratch buffer and probe the open-addressing table.
+struct GroupIndex {
+    table: GroupTable,
+    key_scratch: Vec<u8>,
+    /// Per-row group ids of the page most recently passed to [`assign`].
+    gids: Vec<u32>,
+}
+
+impl GroupIndex {
+    fn new() -> Self {
+        GroupIndex {
+            table: GroupTable::new(),
+            key_scratch: Vec::new(),
+            gids: Vec::new(),
+        }
+    }
+
+    /// Assigns every row of `page` a group id (inserting unseen keys),
+    /// leaving the per-row ids in `self.gids`.
+    fn assign(&mut self, page: &DataPage, key_cols: &[usize]) {
+        let hashes = hash_rows(page, key_cols);
+        self.gids.clear();
+        self.gids.reserve(page.row_count());
+        for (row, &hash) in hashes.iter().enumerate() {
+            self.key_scratch.clear();
+            encode_key_into(page, key_cols, row, &mut self.key_scratch);
+            self.gids.push(self.table.insert(hash, &self.key_scratch));
+        }
+    }
+
+    /// Inserts the single empty-key group a global aggregate over zero
+    /// rows still emits (COUNT(*) of an empty table is 0, not no-rows).
+    fn insert_empty_key_group(&mut self) {
+        self.table.insert(hash_columns(&[], 1)[0], &[]);
+    }
+}
+
+/// Which side of the two-phase split a grouped operator emits.
+enum AggOutput {
+    /// Serialized partial state columns ([`AggAccumulator::partial_columns`]).
+    Partial,
+    /// Finished values ([`AggAccumulator::finish_column`]).
+    Final,
+}
+
+/// Builds grouped-aggregation output pages column-wise: group-key columns
+/// decoded straight from the table's key arena, aggregate columns gathered
+/// from the accumulator vectors — no intermediate `Vec<Value>` rows.
+/// Groups are emitted sorted by encoded key bytes so output order is
+/// deterministic and identical to the replaced `BTreeMap` iteration.
+fn emit_group_pages(
+    index: &GroupIndex,
+    accs: &[AggAccumulator],
+    aggs: &[AggSpec],
+    output: AggOutput,
+    schema: &SchemaRef,
+    key_count: usize,
+    page_rows: usize,
+) -> VecDeque<DataPage> {
+    let order = index.table.sorted_ids();
+    let mut out = VecDeque::new();
+    if order.is_empty() {
+        return out;
+    }
+    let key_types: Vec<DataType> = schema.fields()[..key_count]
+        .iter()
+        .map(|f| f.data_type)
+        .collect();
+    let mut cols = decode_keys_to_columns(
+        order.iter().map(|&g| index.table.key(g)),
+        &key_types,
+        order.len(),
+    );
+    for (acc, spec) in accs.iter().zip(aggs) {
+        match output {
+            AggOutput::Partial => cols.extend(acc.partial_columns(&order, spec)),
+            AggOutput::Final => cols.push(acc.finish_column(&order, spec)),
+        }
+    }
+    let whole = if cols.is_empty() {
+        DataPage::row_count_only(order.len())
+    } else {
+        DataPage::new(cols)
+    };
+    let page_rows = page_rows.max(1);
+    let mut offset = 0;
+    while offset < whole.row_count() {
+        let take = page_rows.min(whole.row_count() - offset);
+        out.push_back(whole.slice(offset, take));
+        offset += take;
+    }
+    out
 }
 
 fn chunk_rows_into_pages(
@@ -277,56 +376,45 @@ impl PartialHashAggOp {
     }
 
     fn consume_input(&mut self) -> Result<VecDeque<DataPage>> {
-        let mut groups: BTreeMap<Vec<u8>, Group> = BTreeMap::new();
+        let mut index = GroupIndex::new();
+        let mut accs: Vec<AggAccumulator> =
+            self.aggs.iter().map(AggAccumulator::for_spec).collect();
         loop {
             let page = match self.input.next_page()? {
                 Page::End(_) => break,
                 Page::Data(p) => p,
             };
-            // Evaluate each aggregate's argument once per page.
+            // Evaluate each aggregate's argument once per page, then fold
+            // whole argument columns into the typed accumulators.
             let arg_cols = self
                 .aggs
                 .iter()
                 .map(|a| a.input.as_ref().map(|e| e.evaluate(&page)).transpose())
                 .collect::<Result<Vec<_>>>()?;
-            for row in 0..page.row_count() {
-                let key = encode_key(&page, &self.group_by, row);
-                let group = groups.entry(key).or_insert_with(|| Group {
-                    values: self
-                        .group_by
-                        .iter()
-                        .map(|&gi| page.column(gi).value(row))
-                        .collect(),
-                    states: self.aggs.iter().map(|a| a.new_state()).collect(),
-                });
-                for (state, col) in group.states.iter_mut().zip(&arg_cols) {
-                    match col {
-                        Some(c) => state.update(&c.value(row)),
-                        // COUNT(*): every row counts.
-                        None => state.update(&Value::Int64(1)),
-                    }
-                }
+            index.assign(&page, &self.group_by);
+            let group_count = index.table.len();
+            for (acc, col) in accs.iter_mut().zip(&arg_cols) {
+                acc.resize(group_count);
+                acc.update(col.as_ref(), &index.gids)?;
             }
         }
         // A global aggregate over zero rows still produces one row of
         // initial state (COUNT(*) of an empty table is 0, not no-rows).
-        if self.group_by.is_empty() && groups.is_empty() {
-            groups.insert(
-                Vec::new(),
-                Group {
-                    values: Vec::new(),
-                    states: self.aggs.iter().map(|a| a.new_state()).collect(),
-                },
-            );
-        }
-        let rows = groups.into_values().map(|g| {
-            let mut row = g.values;
-            for s in &g.states {
-                row.extend(s.partial_values());
+        if self.group_by.is_empty() && index.table.is_empty() {
+            index.insert_empty_key_group();
+            for acc in accs.iter_mut() {
+                acc.resize(1);
             }
-            row
-        });
-        Ok(chunk_rows_into_pages(rows, self.output_schema.clone(), self.page_rows).into())
+        }
+        Ok(emit_group_pages(
+            &index,
+            &accs,
+            &self.aggs,
+            AggOutput::Partial,
+            &self.output_schema,
+            self.group_by.len(),
+            self.page_rows,
+        ))
     }
 }
 
@@ -382,7 +470,9 @@ impl FinalHashAggOp {
             ranges.push(at..at + arity);
             at += arity;
         }
-        let mut groups: BTreeMap<Vec<u8>, Group> = BTreeMap::new();
+        let mut index = GroupIndex::new();
+        let mut accs: Vec<AggAccumulator> =
+            self.aggs.iter().map(AggAccumulator::for_spec).collect();
         loop {
             let page = match self.input.next_page()? {
                 Page::End(_) => break,
@@ -394,37 +484,29 @@ impl FinalHashAggOp {
                     page.num_columns()
                 )));
             }
-            for row in 0..page.row_count() {
-                let key = encode_key(&page, &group_cols, row);
-                let group = groups.entry(key).or_insert_with(|| Group {
-                    values: group_cols
-                        .iter()
-                        .map(|&gi| page.column(gi).value(row))
-                        .collect(),
-                    states: self.aggs.iter().map(|a| a.new_state()).collect(),
-                });
-                for (state, range) in group.states.iter_mut().zip(&ranges) {
-                    let partial: Vec<Value> =
-                        range.clone().map(|ci| page.column(ci).value(row)).collect();
-                    state.merge_partial(&partial)?;
-                }
+            index.assign(&page, &group_cols);
+            let group_count = index.table.len();
+            for (acc, range) in accs.iter_mut().zip(&ranges) {
+                acc.resize(group_count);
+                let state_cols: Vec<&Column> = range.clone().map(|ci| page.column(ci)).collect();
+                acc.merge(&state_cols, &index.gids)?;
             }
         }
-        if self.group_count == 0 && groups.is_empty() {
-            groups.insert(
-                Vec::new(),
-                Group {
-                    values: Vec::new(),
-                    states: self.aggs.iter().map(|a| a.new_state()).collect(),
-                },
-            );
+        if self.group_count == 0 && index.table.is_empty() {
+            index.insert_empty_key_group();
+            for acc in accs.iter_mut() {
+                acc.resize(1);
+            }
         }
-        let rows = groups.into_values().map(|g| {
-            let mut row = g.values;
-            row.extend(g.states.iter().map(|s| s.finish()));
-            row
-        });
-        Ok(chunk_rows_into_pages(rows, self.output_schema.clone(), self.page_rows).into())
+        Ok(emit_group_pages(
+            &index,
+            &accs,
+            &self.aggs,
+            AggOutput::Final,
+            &self.output_schema,
+            self.group_count,
+            self.page_rows,
+        ))
     }
 }
 
@@ -551,54 +633,123 @@ impl PageStream for SortOp {
 // Hash join
 // ---------------------------------------------------------------------------
 
+/// Sentinel group id for build rows excluded by a NULL key.
+const NO_GROUP: u32 = u32::MAX;
+
 /// The materialized build side of a hash join, shared by all probe drivers.
 /// Rows whose keys contain SQL NULL are excluded (NULL never equi-joins).
 /// With no key columns every row lands in one bucket — that is exactly
 /// cross-join semantics, so `Cross` needs no special casing.
+///
+/// Layout: all build pages concatenated into one [`DataPage`], a
+/// [`GroupTable`] mapping each distinct key to a group id, and a CSR index
+/// (`starts`/`row_ids`) listing the build rows of each group in build
+/// order. Probing returns a slice of row ids that feeds straight into the
+/// column `gather` kernels.
 pub struct JoinTable {
-    pages: Vec<Arc<DataPage>>,
-    index: HashMap<Vec<u8>, Vec<(u32, u32)>>,
+    build: Option<DataPage>,
+    table: GroupTable,
+    /// Group `g` matches build rows `row_ids[starts[g]..starts[g+1]]`.
+    starts: Vec<u32>,
+    row_ids: Vec<u32>,
 }
 
 impl JoinTable {
     pub fn build(pages: Vec<Arc<DataPage>>, keys: &[usize]) -> JoinTable {
-        let mut index: HashMap<Vec<u8>, Vec<(u32, u32)>> = HashMap::new();
-        for (pi, page) in pages.iter().enumerate() {
-            'rows: for row in 0..page.row_count() {
-                for &k in keys {
-                    if !page.column(k).is_valid(row) {
-                        continue 'rows;
-                    }
+        let mut table = GroupTable::new();
+        if pages.is_empty() {
+            return JoinTable {
+                build: None,
+                table,
+                starts: vec![0],
+                row_ids: Vec::new(),
+            };
+        }
+        let refs: Vec<&DataPage> = pages.iter().map(|p| p.as_ref()).collect();
+        let build = DataPage::concat(&refs);
+        // Pass 1: vectorized hash, then assign each row its group id.
+        let hashes = hash_rows(&build, keys);
+        let mut scratch = Vec::new();
+        let mut gid_of_row: Vec<u32> = Vec::with_capacity(build.row_count());
+        'rows: for (row, &hash) in hashes.iter().enumerate() {
+            for &k in keys {
+                if !build.column(k).is_valid(row) {
+                    gid_of_row.push(NO_GROUP);
+                    continue 'rows;
                 }
-                index
-                    .entry(encode_key(page, keys, row))
-                    .or_default()
-                    .push((pi as u32, row as u32));
+            }
+            scratch.clear();
+            encode_key_into(&build, keys, row, &mut scratch);
+            gid_of_row.push(table.insert(hash, &scratch));
+        }
+        // Pass 2: CSR — count per group, prefix-sum, then fill in build-row
+        // order (preserving the emission order of the map it replaced).
+        let mut starts = vec![0u32; table.len() + 1];
+        for &g in &gid_of_row {
+            if g != NO_GROUP {
+                starts[g as usize + 1] += 1;
             }
         }
-        JoinTable { pages, index }
+        for i in 1..starts.len() {
+            starts[i] += starts[i - 1];
+        }
+        let mut cursor = starts.clone();
+        let mut row_ids = vec![0u32; *starts.last().unwrap() as usize];
+        for (row, &g) in gid_of_row.iter().enumerate() {
+            if g == NO_GROUP {
+                continue;
+            }
+            row_ids[cursor[g as usize] as usize] = row as u32;
+            cursor[g as usize] += 1;
+        }
+        JoinTable {
+            build: Some(build),
+            table,
+            starts,
+            row_ids,
+        }
     }
 
     pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        self.table.is_empty()
     }
 
-    fn matches(&self, key: &[u8]) -> &[(u32, u32)] {
-        self.index.get(key).map_or(&[], |v| v.as_slice())
+    /// Number of distinct (non-NULL) join keys on the build side.
+    pub fn distinct_keys(&self) -> usize {
+        self.table.len()
     }
 
-    fn row(&self, loc: (u32, u32)) -> Vec<Value> {
-        self.pages[loc.0 as usize].row(loc.1 as usize)
+    fn build_page(&self) -> Option<&DataPage> {
+        self.build.as_ref()
+    }
+
+    /// Build-row ids matching `key`; `hash` must come from the same page
+    /// hash kernels used at build time.
+    fn matches(&self, hash: u64, key: &[u8]) -> &[u32] {
+        match self.table.get(hash, key) {
+            Some(g) => {
+                let g = g as usize;
+                &self.row_ids[self.starts[g] as usize..self.starts[g + 1] as usize]
+            }
+            None => &[],
+        }
     }
 }
 
-/// Streams probe pages against a [`JoinTable`], emitting probe ++ build rows.
+/// Streams probe pages against a [`JoinTable`], emitting probe ++ build
+/// columns. Matches are collected as a pair of selection-index vectors
+/// (probe row ids, build row ids) and the output page is assembled with the
+/// column `gather` kernels — no per-row `Vec<Value>` assembly.
 pub struct HashJoinProbeOp {
     input: BoxedStream,
     table: Arc<JoinTable>,
     keys: Vec<usize>,
     output_schema: SchemaRef,
+    /// Capacity hint for the selection vectors (output batches may exceed
+    /// it: like the row-at-a-time predecessor, the probe emits one output
+    /// page per probe page).
     page_rows: usize,
+    key_scratch: Vec<u8>,
 }
 
 impl HashJoinProbeOp {
@@ -615,6 +766,7 @@ impl HashJoinProbeOp {
             keys,
             output_schema: Arc::new(output_schema),
             page_rows,
+            key_scratch: Vec::new(),
         }
     }
 }
@@ -629,23 +781,42 @@ impl PageStream for HashJoinProbeOp {
             if self.table.is_empty() {
                 continue;
             }
-            let mut builder = PageBuilder::new(self.output_schema.clone(), self.page_rows.max(1));
-            'rows: for row in 0..page.row_count() {
+            let hashes = hash_rows(&page, &self.keys);
+            let mut probe_sel: Vec<u32> = Vec::with_capacity(self.page_rows);
+            let mut build_sel: Vec<u32> = Vec::with_capacity(self.page_rows);
+            'rows: for (row, &hash) in hashes.iter().enumerate() {
                 for &k in &self.keys {
                     if !page.column(k).is_valid(row) {
                         continue 'rows;
                     }
                 }
-                let key = encode_key(&page, &self.keys, row);
-                for &loc in self.table.matches(&key) {
-                    let mut out_row = page.row(row);
-                    out_row.extend(self.table.row(loc));
-                    builder.push_row(out_row);
+                self.key_scratch.clear();
+                encode_key_into(&page, &self.keys, row, &mut self.key_scratch);
+                for &b in self.table.matches(hash, &self.key_scratch) {
+                    probe_sel.push(row as u32);
+                    build_sel.push(b);
                 }
             }
-            if !builder.is_empty() {
-                return Ok(Page::data(builder.finish()));
+            if probe_sel.is_empty() {
+                continue;
             }
+            let build = self
+                .table
+                .build_page()
+                .expect("non-empty join table has build rows");
+            let mut cols: Vec<Column> = page
+                .columns()
+                .iter()
+                .map(|c| c.gather(&probe_sel))
+                .collect();
+            cols.extend(build.columns().iter().map(|c| c.gather(&build_sel)));
+            debug_assert_eq!(cols.len(), self.output_schema.len());
+            let out = if cols.is_empty() {
+                DataPage::row_count_only(probe_sel.len())
+            } else {
+                DataPage::new(cols)
+            };
+            return Ok(Page::data(out));
         }
     }
 }
@@ -774,9 +945,73 @@ mod tests {
         let build_page = DataPage::new(vec![b.finish()]);
         let build_page = Arc::new(build_page);
         let t = JoinTable::build(vec![build_page.clone()], &[0]);
-        assert_eq!(t.index.len(), 2, "null key row excluded");
+        assert_eq!(t.distinct_keys(), 2, "null key row excluded");
         let cross = JoinTable::build(vec![build_page], &[]);
-        assert_eq!(cross.matches(&[]).len(), 3, "no keys ⇒ one bucket");
+        let empty_key_hash = hash_columns(&[], 1)[0];
+        assert_eq!(
+            cross.matches(empty_key_hash, &[]).len(),
+            3,
+            "no keys ⇒ one bucket"
+        );
+    }
+
+    #[test]
+    fn join_probe_emits_selection_gathered_rows() {
+        use accordion_data::column::ColumnBuilder;
+        // Build side: key 1 appears twice (rows split across two pages),
+        // key 3 once, one NULL-key row excluded.
+        let bp1 = Arc::new(DataPage::new(vec![
+            Column::from_i64(vec![1, 3]),
+            Column::from_strings(&["a", "c"]),
+        ]));
+        let mut nk = ColumnBuilder::new(DataType::Int64, 2);
+        nk.push(Value::Int64(1));
+        nk.push(Value::Null);
+        let bp2 = Arc::new(DataPage::new(vec![
+            nk.finish(),
+            Column::from_strings(&["b", "dead"]),
+        ]));
+        let table = Arc::new(JoinTable::build(vec![bp1, bp2], &[0]));
+        // Probe side: 2 misses, NULL skipped, 1 hits twice, 3 hits once.
+        let mut pk = ColumnBuilder::new(DataType::Int64, 4);
+        pk.push(Value::Int64(2));
+        pk.push(Value::Null);
+        pk.push(Value::Int64(1));
+        pk.push(Value::Int64(3));
+        let probe = DataPage::new(vec![pk.finish(), Column::from_i64(vec![20, 0, 10, 30])]);
+        let schema = Schema::new(vec![
+            Field::new("pk", DataType::Int64),
+            Field::new("pv", DataType::Int64),
+            Field::new("bk", DataType::Int64),
+            Field::new("bv", DataType::Utf8),
+        ]);
+        let op = HashJoinProbeOp::new(pages_source(vec![probe]), table, vec![0], schema, 8);
+        let out = drain(op);
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            out[0].rows(),
+            vec![
+                // Probe row for key 1 matches both build rows, in build order.
+                vec![
+                    Value::Int64(1),
+                    Value::Int64(10),
+                    Value::Int64(1),
+                    Value::Utf8("a".into())
+                ],
+                vec![
+                    Value::Int64(1),
+                    Value::Int64(10),
+                    Value::Int64(1),
+                    Value::Utf8("b".into())
+                ],
+                vec![
+                    Value::Int64(3),
+                    Value::Int64(30),
+                    Value::Int64(3),
+                    Value::Utf8("c".into())
+                ],
+            ]
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use std::fmt;
 
 use accordion_common::{AccordionError, Result};
+use accordion_data::column::{Column, ColumnBuilder};
 use accordion_data::types::{DataType, Value};
 
 use crate::scalar::Expr;
@@ -138,7 +139,10 @@ impl AggState {
             AggState::Count(c) => *c += 1,
             AggState::SumInt(s, any) => {
                 if let Some(x) = v.as_i64() {
-                    *s += x;
+                    // Wrapping, matching the vectorized kernel and the
+                    // eval_binary i64 fast path: overflow must not change
+                    // behavior between debug and release profiles.
+                    *s = s.wrapping_add(x);
                     *any = true;
                 }
             }
@@ -207,7 +211,7 @@ impl AggState {
             AggState::SumInt(s, any) => {
                 let v = partial_scalar(partial, 0)?;
                 if let Some(x) = v.as_i64() {
-                    *s += x;
+                    *s = s.wrapping_add(x);
                     *any = true;
                 }
             }
@@ -282,6 +286,540 @@ impl AggState {
             AggState::Min(v) | AggState::Max(v) => v.clone().unwrap_or(Value::Null),
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Columnar accumulators
+// ---------------------------------------------------------------------------
+
+/// Columnar accumulator: one typed vector (or pair) indexed by dense group
+/// id, updated with per-column kernels instead of one
+/// [`AggState::update`] call per row.
+///
+/// This is the aggregation half of the vectorized hash engine: the group
+/// table assigns every input row a `group_id`, then each aggregate walks
+/// the argument column once in a branch-light loop. i64/f64/date inputs
+/// never materialize a [`Value`]; types without a kernel (Utf8/Bool
+/// min-max) fall back to a vector of the scalar [`AggState`]s, which also
+/// remains the reference implementation the property suite checks against.
+#[derive(Debug)]
+pub enum AggAccumulator {
+    /// COUNT(*) and COUNT(expr).
+    Count {
+        counts: Vec<i64>,
+    },
+    /// SUM over Int64, wrapping on overflow (see [`AggState::SumInt`]).
+    SumInt {
+        sums: Vec<i64>,
+        seen: Vec<bool>,
+    },
+    /// SUM over Float64 (and Int64-coerced) inputs.
+    SumFloat {
+        sums: Vec<f64>,
+        seen: Vec<bool>,
+    },
+    Avg {
+        sums: Vec<f64>,
+        counts: Vec<i64>,
+    },
+    MinMaxI64 {
+        vals: Vec<i64>,
+        seen: Vec<bool>,
+        is_min: bool,
+    },
+    MinMaxF64 {
+        vals: Vec<f64>,
+        seen: Vec<bool>,
+        is_min: bool,
+    },
+    MinMaxDate {
+        vals: Vec<i32>,
+        seen: Vec<bool>,
+        is_min: bool,
+    },
+    /// Scalar fallback for kernel-less types; `template` seeds new groups.
+    Scalar {
+        template: AggState,
+        states: Vec<AggState>,
+    },
+}
+
+impl AggAccumulator {
+    /// Picks the accumulator representation for a spec.
+    pub fn for_spec(spec: &AggSpec) -> AggAccumulator {
+        match (spec.kind, spec.input_type) {
+            (AggKind::Count, _) => AggAccumulator::Count { counts: Vec::new() },
+            (AggKind::Sum, DataType::Int64) => AggAccumulator::SumInt {
+                sums: Vec::new(),
+                seen: Vec::new(),
+            },
+            (AggKind::Sum, _) => AggAccumulator::SumFloat {
+                sums: Vec::new(),
+                seen: Vec::new(),
+            },
+            (AggKind::Avg, _) => AggAccumulator::Avg {
+                sums: Vec::new(),
+                counts: Vec::new(),
+            },
+            (kind @ (AggKind::Min | AggKind::Max), dt) => {
+                let is_min = kind == AggKind::Min;
+                match dt {
+                    DataType::Int64 => AggAccumulator::MinMaxI64 {
+                        vals: Vec::new(),
+                        seen: Vec::new(),
+                        is_min,
+                    },
+                    DataType::Float64 => AggAccumulator::MinMaxF64 {
+                        vals: Vec::new(),
+                        seen: Vec::new(),
+                        is_min,
+                    },
+                    DataType::Date32 => AggAccumulator::MinMaxDate {
+                        vals: Vec::new(),
+                        seen: Vec::new(),
+                        is_min,
+                    },
+                    _ => AggAccumulator::Scalar {
+                        template: spec.new_state(),
+                        states: Vec::new(),
+                    },
+                }
+            }
+        }
+    }
+
+    /// Number of groups currently accumulated.
+    pub fn len(&self) -> usize {
+        match self {
+            AggAccumulator::Count { counts } => counts.len(),
+            AggAccumulator::SumInt { sums, .. } => sums.len(),
+            AggAccumulator::SumFloat { sums, .. } => sums.len(),
+            AggAccumulator::Avg { sums, .. } => sums.len(),
+            AggAccumulator::MinMaxI64 { vals, .. } => vals.len(),
+            AggAccumulator::MinMaxF64 { vals, .. } => vals.len(),
+            AggAccumulator::MinMaxDate { vals, .. } => vals.len(),
+            AggAccumulator::Scalar { states, .. } => states.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Grows to `n` groups, initializing the new tail.
+    pub fn resize(&mut self, n: usize) {
+        match self {
+            AggAccumulator::Count { counts } => counts.resize(n, 0),
+            AggAccumulator::SumInt { sums, seen } => {
+                sums.resize(n, 0);
+                seen.resize(n, false);
+            }
+            AggAccumulator::SumFloat { sums, seen } => {
+                sums.resize(n, 0.0);
+                seen.resize(n, false);
+            }
+            AggAccumulator::Avg { sums, counts } => {
+                sums.resize(n, 0.0);
+                counts.resize(n, 0);
+            }
+            AggAccumulator::MinMaxI64 { vals, seen, .. } => {
+                vals.resize(n, 0);
+                seen.resize(n, false);
+            }
+            AggAccumulator::MinMaxF64 { vals, seen, .. } => {
+                vals.resize(n, 0.0);
+                seen.resize(n, false);
+            }
+            AggAccumulator::MinMaxDate { vals, seen, .. } => {
+                vals.resize(n, 0);
+                seen.resize(n, false);
+            }
+            AggAccumulator::Scalar { template, states } => {
+                states.resize(n, template.clone());
+            }
+        }
+    }
+
+    /// Partial-phase update: folds `col[i]` into group `group_ids[i]` for
+    /// every row. `col = None` is COUNT(*) (every row counts).
+    pub fn update(&mut self, col: Option<&Column>, group_ids: &[u32]) -> Result<()> {
+        let Some(col) = col else {
+            // COUNT(*): no argument, count every row.
+            let AggAccumulator::Count { counts } = self else {
+                return Err(AccordionError::Internal(
+                    "argument-less aggregate that is not COUNT(*)".into(),
+                ));
+            };
+            for &g in group_ids {
+                counts[g as usize] += 1;
+            }
+            return Ok(());
+        };
+        match self {
+            AggAccumulator::Count { counts } => match col.validity() {
+                None => {
+                    for &g in group_ids {
+                        counts[g as usize] += 1;
+                    }
+                }
+                Some(v) => {
+                    for (i, &g) in group_ids.iter().enumerate() {
+                        counts[g as usize] += v.is_valid(i) as i64;
+                    }
+                }
+            },
+            AggAccumulator::SumInt { sums, seen } => {
+                let Some(data) = col.as_i64() else {
+                    return update_via_values(
+                        &mut AggStatesView::SumInt(sums, seen),
+                        col,
+                        group_ids,
+                    );
+                };
+                match col.validity() {
+                    None => {
+                        for (i, &g) in group_ids.iter().enumerate() {
+                            let g = g as usize;
+                            sums[g] = sums[g].wrapping_add(data[i]);
+                            seen[g] = true;
+                        }
+                    }
+                    Some(v) => {
+                        for (i, &g) in group_ids.iter().enumerate() {
+                            let g = g as usize;
+                            let valid = v.is_valid(i);
+                            sums[g] = sums[g].wrapping_add(if valid { data[i] } else { 0 });
+                            seen[g] |= valid;
+                        }
+                    }
+                }
+            }
+            AggAccumulator::SumFloat { sums, seen } => {
+                sum_f64_kernel(sums, seen, col, group_ids)?;
+            }
+            AggAccumulator::Avg { sums, counts } => {
+                avg_f64_kernel(sums, counts, col, group_ids)?;
+            }
+            AggAccumulator::MinMaxI64 { vals, seen, is_min } => {
+                let Some(data) = col.as_i64() else {
+                    return Err(kernel_type_error("min/max<i64>", col));
+                };
+                let is_min = *is_min;
+                for_each_valid(col, group_ids, |i, g| {
+                    if !seen[g] || (data[i] < vals[g]) == is_min {
+                        vals[g] = data[i];
+                    }
+                    seen[g] = true;
+                });
+            }
+            AggAccumulator::MinMaxF64 { vals, seen, is_min } => {
+                let Some(data) = col.as_f64() else {
+                    return Err(kernel_type_error("min/max<f64>", col));
+                };
+                let is_min = *is_min;
+                for_each_valid(col, group_ids, |i, g| {
+                    use std::cmp::Ordering;
+                    let want = if is_min {
+                        Ordering::Less
+                    } else {
+                        Ordering::Greater
+                    };
+                    if !seen[g] || data[i].total_cmp(&vals[g]) == want {
+                        vals[g] = data[i];
+                    }
+                    seen[g] = true;
+                });
+            }
+            AggAccumulator::MinMaxDate { vals, seen, is_min } => {
+                let Some(data) = col.as_date32() else {
+                    return Err(kernel_type_error("min/max<date32>", col));
+                };
+                let is_min = *is_min;
+                for_each_valid(col, group_ids, |i, g| {
+                    if !seen[g] || (data[i] < vals[g]) == is_min {
+                        vals[g] = data[i];
+                    }
+                    seen[g] = true;
+                });
+            }
+            AggAccumulator::Scalar { states, .. } => {
+                for (i, &g) in group_ids.iter().enumerate() {
+                    states[g as usize].update(&col.value(i));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Final-phase merge: folds serialized partial-state columns (layout per
+    /// [`AggSpec::partial_state_types`]) into the accumulators.
+    pub fn merge(&mut self, cols: &[&Column], group_ids: &[u32]) -> Result<()> {
+        let state_col = |i: usize| -> Result<&Column> {
+            cols.get(i).copied().ok_or_else(|| {
+                AccordionError::Internal(format!(
+                    "partial state arity mismatch: wanted column {i}, got {}",
+                    cols.len()
+                ))
+            })
+        };
+        match self {
+            AggAccumulator::Count { counts } => {
+                let col = state_col(0)?;
+                let Some(data) = col.as_i64() else {
+                    return Err(kernel_type_error("count-merge", col));
+                };
+                for_each_valid(col, group_ids, |i, g| counts[g] += data[i]);
+            }
+            AggAccumulator::SumInt { sums, seen } => {
+                let col = state_col(0)?;
+                let Some(data) = col.as_i64() else {
+                    return Err(kernel_type_error("sum<i64>-merge", col));
+                };
+                for_each_valid(col, group_ids, |i, g| {
+                    sums[g] = sums[g].wrapping_add(data[i]);
+                    seen[g] = true;
+                });
+            }
+            AggAccumulator::SumFloat { sums, seen } => {
+                sum_f64_kernel(sums, seen, state_col(0)?, group_ids)?;
+            }
+            AggAccumulator::Avg { sums, counts } => {
+                let scol = state_col(0)?;
+                let ccol = state_col(1)?;
+                let (Some(s), Some(c)) = (scol.as_f64(), ccol.as_i64()) else {
+                    return Err(kernel_type_error("avg-merge", scol));
+                };
+                for (i, &g) in group_ids.iter().enumerate() {
+                    let g = g as usize;
+                    if scol.is_valid(i) && ccol.is_valid(i) {
+                        sums[g] += s[i];
+                        counts[g] += c[i];
+                    }
+                }
+            }
+            // Min/max partial state is one column of the input type; merging
+            // it is the same kernel as the partial update.
+            AggAccumulator::MinMaxI64 { .. }
+            | AggAccumulator::MinMaxF64 { .. }
+            | AggAccumulator::MinMaxDate { .. } => {
+                return self.update(Some(state_col(0)?), group_ids);
+            }
+            AggAccumulator::Scalar { states, .. } => {
+                for (i, &g) in group_ids.iter().enumerate() {
+                    let partial: Vec<Value> = cols.iter().map(|c| c.value(i)).collect();
+                    states[g as usize].merge_partial(&partial)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the partial state as columns in `order` (layout per
+    /// [`AggSpec::partial_state_types`]), built straight from the
+    /// accumulator vectors.
+    pub fn partial_columns(&self, order: &[u32], spec: &AggSpec) -> Vec<Column> {
+        match self {
+            AggAccumulator::Count { counts } => {
+                vec![Column::from_i64(
+                    order.iter().map(|&g| counts[g as usize]).collect(),
+                )]
+            }
+            AggAccumulator::SumInt { sums, seen } => {
+                vec![gather_i64_nullable(sums, seen, order)]
+            }
+            AggAccumulator::SumFloat { sums, seen } => {
+                vec![gather_f64_nullable(sums, seen, order)]
+            }
+            AggAccumulator::Avg { sums, counts } => vec![
+                Column::from_f64(order.iter().map(|&g| sums[g as usize]).collect()),
+                Column::from_i64(order.iter().map(|&g| counts[g as usize]).collect()),
+            ],
+            AggAccumulator::MinMaxI64 { vals, seen, .. } => {
+                vec![gather_i64_nullable(vals, seen, order)]
+            }
+            AggAccumulator::MinMaxF64 { vals, seen, .. } => {
+                vec![gather_f64_nullable(vals, seen, order)]
+            }
+            AggAccumulator::MinMaxDate { vals, seen, .. } => {
+                let nulls: Vec<bool> = order.iter().map(|&g| !seen[g as usize]).collect();
+                vec![Column::from_date32_nullable(
+                    order.iter().map(|&g| vals[g as usize]).collect(),
+                    &nulls,
+                )]
+            }
+            AggAccumulator::Scalar { states, .. } => {
+                let types = spec.partial_state_types();
+                let mut builders: Vec<ColumnBuilder> = types
+                    .iter()
+                    .map(|&dt| ColumnBuilder::new(dt, order.len()))
+                    .collect();
+                for &g in order {
+                    for (b, v) in builders.iter_mut().zip(states[g as usize].partial_values()) {
+                        b.push(v);
+                    }
+                }
+                builders.into_iter().map(ColumnBuilder::finish).collect()
+            }
+        }
+    }
+
+    /// Produces the final output column in `order`.
+    pub fn finish_column(&self, order: &[u32], spec: &AggSpec) -> Column {
+        match self {
+            AggAccumulator::Count { counts } => {
+                Column::from_i64(order.iter().map(|&g| counts[g as usize]).collect())
+            }
+            AggAccumulator::SumInt { sums, seen } => gather_i64_nullable(sums, seen, order),
+            AggAccumulator::SumFloat { sums, seen } => gather_f64_nullable(sums, seen, order),
+            AggAccumulator::Avg { sums, counts } => {
+                let mut out = Vec::with_capacity(order.len());
+                let mut nulls = Vec::with_capacity(order.len());
+                for &g in order {
+                    let g = g as usize;
+                    let empty = counts[g] == 0;
+                    out.push(if empty {
+                        0.0
+                    } else {
+                        sums[g] / counts[g] as f64
+                    });
+                    nulls.push(empty);
+                }
+                Column::from_f64_nullable(out, &nulls)
+            }
+            AggAccumulator::MinMaxI64 { vals, seen, .. } => gather_i64_nullable(vals, seen, order),
+            AggAccumulator::MinMaxF64 { vals, seen, .. } => gather_f64_nullable(vals, seen, order),
+            AggAccumulator::MinMaxDate { vals, seen, .. } => {
+                let nulls: Vec<bool> = order.iter().map(|&g| !seen[g as usize]).collect();
+                Column::from_date32_nullable(
+                    order.iter().map(|&g| vals[g as usize]).collect(),
+                    &nulls,
+                )
+            }
+            AggAccumulator::Scalar { states, .. } => {
+                let mut b = ColumnBuilder::new(spec.output_type(), order.len());
+                for &g in order {
+                    b.push(states[g as usize].finish());
+                }
+                b.finish()
+            }
+        }
+    }
+}
+
+/// Shared inner loop: calls `f(row, group)` for every row whose cell is
+/// valid, with a no-bitmap fast path.
+#[inline]
+fn for_each_valid(col: &Column, group_ids: &[u32], mut f: impl FnMut(usize, usize)) {
+    match col.validity() {
+        None => {
+            for (i, &g) in group_ids.iter().enumerate() {
+                f(i, g as usize);
+            }
+        }
+        Some(v) => {
+            for (i, &g) in group_ids.iter().enumerate() {
+                if v.is_valid(i) {
+                    f(i, g as usize);
+                }
+            }
+        }
+    }
+}
+
+/// f64 sum kernel accepting Float64 or (analyzer-coerced) Int64 input.
+fn sum_f64_kernel(
+    sums: &mut [f64],
+    seen: &mut [bool],
+    col: &Column,
+    group_ids: &[u32],
+) -> Result<()> {
+    if let Some(data) = col.as_f64() {
+        match col.validity() {
+            None => {
+                for (i, &g) in group_ids.iter().enumerate() {
+                    let g = g as usize;
+                    sums[g] += data[i];
+                    seen[g] = true;
+                }
+            }
+            Some(v) => {
+                for (i, &g) in group_ids.iter().enumerate() {
+                    let g = g as usize;
+                    let valid = v.is_valid(i);
+                    sums[g] += if valid { data[i] } else { 0.0 };
+                    seen[g] |= valid;
+                }
+            }
+        }
+        return Ok(());
+    }
+    if let Some(data) = col.as_i64() {
+        for_each_valid(col, group_ids, |i, g| {
+            sums[g] += data[i] as f64;
+            seen[g] = true;
+        });
+        return Ok(());
+    }
+    Err(kernel_type_error("sum<f64>", col))
+}
+
+/// Avg partial kernel over Float64 or Int64 input.
+fn avg_f64_kernel(
+    sums: &mut [f64],
+    counts: &mut [i64],
+    col: &Column,
+    group_ids: &[u32],
+) -> Result<()> {
+    if let Some(data) = col.as_f64() {
+        for_each_valid(col, group_ids, |i, g| {
+            sums[g] += data[i];
+            counts[g] += 1;
+        });
+        return Ok(());
+    }
+    if let Some(data) = col.as_i64() {
+        for_each_valid(col, group_ids, |i, g| {
+            sums[g] += data[i] as f64;
+            counts[g] += 1;
+        });
+        return Ok(());
+    }
+    Err(kernel_type_error("avg", col))
+}
+
+fn gather_i64_nullable(vals: &[i64], seen: &[bool], order: &[u32]) -> Column {
+    let nulls: Vec<bool> = order.iter().map(|&g| !seen[g as usize]).collect();
+    Column::from_i64_nullable(order.iter().map(|&g| vals[g as usize]).collect(), &nulls)
+}
+
+fn gather_f64_nullable(vals: &[f64], seen: &[bool], order: &[u32]) -> Column {
+    let nulls: Vec<bool> = order.iter().map(|&g| !seen[g as usize]).collect();
+    Column::from_f64_nullable(order.iter().map(|&g| vals[g as usize]).collect(), &nulls)
+}
+
+fn kernel_type_error(kernel: &str, col: &Column) -> AccordionError {
+    AccordionError::Internal(format!("{kernel} kernel fed a {} column", col.data_type()))
+}
+
+/// Last-resort scalar path when a typed kernel receives a mismatched column
+/// (unreachable through the planner, kept for defense in depth).
+enum AggStatesView<'a> {
+    SumInt(&'a mut [i64], &'a mut [bool]),
+}
+
+fn update_via_values(view: &mut AggStatesView<'_>, col: &Column, group_ids: &[u32]) -> Result<()> {
+    match view {
+        AggStatesView::SumInt(sums, seen) => {
+            for (i, &g) in group_ids.iter().enumerate() {
+                if let Some(x) = col.value(i).as_i64() {
+                    let g = g as usize;
+                    sums[g] = sums[g].wrapping_add(x);
+                    seen[g] = true;
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 fn partial_scalar(partial: &[Value], i: usize) -> Result<&Value> {
@@ -409,5 +947,158 @@ mod tests {
         let spec = AggSpec::new(AggKind::Avg, Expr::col(0), DataType::Float64, "a");
         let mut s = spec.new_state();
         assert!(s.merge_partial(&[Value::Float64(1.0)]).is_err());
+    }
+
+    /// Runs one spec through both paths over the same column/group layout
+    /// and asserts identical final values per group.
+    fn check_accumulator_matches_scalar(spec: &AggSpec, col: &Column, gids: &[u32], groups: usize) {
+        // Scalar reference.
+        let mut states: Vec<AggState> = (0..groups).map(|_| spec.new_state()).collect();
+        for (i, &g) in gids.iter().enumerate() {
+            states[g as usize].update(&col.value(i));
+        }
+        // Vectorized.
+        let mut acc = AggAccumulator::for_spec(spec);
+        acc.resize(groups);
+        acc.update(Some(col), gids).unwrap();
+        let order: Vec<u32> = (0..groups as u32).collect();
+        let out = acc.finish_column(&order, spec);
+        for (g, state) in states.iter().enumerate() {
+            assert_eq!(
+                out.value(g),
+                state.finish(),
+                "{} group {g} diverged",
+                spec.kind
+            );
+        }
+        // And through serialize → merge (the partial/final split).
+        let partial_cols = acc.partial_columns(&order, spec);
+        let refs: Vec<&Column> = partial_cols.iter().collect();
+        let ids: Vec<u32> = (0..groups as u32).collect();
+        let mut merged = AggAccumulator::for_spec(spec);
+        merged.resize(groups);
+        merged.merge(&refs, &ids).unwrap();
+        let merged_out = merged.finish_column(&order, spec);
+        for (g, state) in states.iter().enumerate() {
+            assert_eq!(
+                merged_out.value(g),
+                state.finish(),
+                "{} group {g} diverged after merge",
+                spec.kind
+            );
+        }
+    }
+
+    #[test]
+    fn accumulator_matches_scalar_states_i64() {
+        let mut b = ColumnBuilder::new(DataType::Int64, 8);
+        for v in [
+            Value::Int64(3),
+            Value::Null,
+            Value::Int64(-7),
+            Value::Int64(i64::MAX),
+            Value::Int64(1),
+            Value::Int64(0),
+            Value::Null,
+            Value::Int64(42),
+        ] {
+            b.push(v);
+        }
+        let col = b.finish();
+        let gids = [0u32, 1, 0, 2, 1, 2, 2, 0];
+        for kind in [
+            AggKind::Count,
+            AggKind::Sum,
+            AggKind::Avg,
+            AggKind::Min,
+            AggKind::Max,
+        ] {
+            let spec = AggSpec::new(kind, Expr::col(0), DataType::Int64, "x");
+            check_accumulator_matches_scalar(&spec, &col, &gids, 3);
+        }
+    }
+
+    #[test]
+    fn accumulator_matches_scalar_states_f64() {
+        let mut b = ColumnBuilder::new(DataType::Float64, 8);
+        for v in [
+            Value::Float64(0.5),
+            Value::Float64(-0.0),
+            Value::Null,
+            Value::Float64(f64::NAN),
+            Value::Float64(1e300),
+            Value::Float64(-3.25),
+            Value::Float64(0.0),
+            Value::Null,
+        ] {
+            b.push(v);
+        }
+        let col = b.finish();
+        let gids = [0u32, 0, 1, 1, 2, 2, 0, 1];
+        for kind in [AggKind::Count, AggKind::Sum, AggKind::Avg] {
+            let spec = AggSpec::new(kind, Expr::col(0), DataType::Float64, "x");
+            check_accumulator_matches_scalar(&spec, &col, &gids, 3);
+        }
+        // Min/max use f64::total_cmp — NaN ordering must match Value::total_cmp.
+        for kind in [AggKind::Min, AggKind::Max] {
+            let spec = AggSpec::new(kind, Expr::col(0), DataType::Float64, "x");
+            check_accumulator_matches_scalar(&spec, &col, &gids, 3);
+        }
+    }
+
+    #[test]
+    fn accumulator_scalar_fallback_for_utf8_minmax() {
+        let mut b = ColumnBuilder::new(DataType::Utf8, 4);
+        for v in [
+            Value::Utf8("pear".into()),
+            Value::Null,
+            Value::Utf8("apple".into()),
+            Value::Utf8("zed".into()),
+        ] {
+            b.push(v);
+        }
+        let col = b.finish();
+        let gids = [0u32, 0, 0, 1];
+        for kind in [AggKind::Min, AggKind::Max] {
+            let spec = AggSpec::new(kind, Expr::col(0), DataType::Utf8, "x");
+            let acc = AggAccumulator::for_spec(&spec);
+            assert!(matches!(acc, AggAccumulator::Scalar { .. }));
+            check_accumulator_matches_scalar(&spec, &col, &gids, 2);
+        }
+    }
+
+    #[test]
+    fn accumulator_count_star_counts_every_row() {
+        let spec = AggSpec::count_star("cnt");
+        let mut acc = AggAccumulator::for_spec(&spec);
+        acc.resize(2);
+        acc.update(None, &[0, 1, 1, 1]).unwrap();
+        let out = acc.finish_column(&[0, 1], &spec);
+        assert_eq!(out.value(0), Value::Int64(1));
+        assert_eq!(out.value(1), Value::Int64(3));
+    }
+
+    #[test]
+    fn accumulator_sum_int_wraps_like_scalar() {
+        let col = Column::from_i64(vec![i64::MAX, 1]);
+        let gids = [0u32, 0];
+        let spec = AggSpec::new(AggKind::Sum, Expr::col(0), DataType::Int64, "s");
+        check_accumulator_matches_scalar(&spec, &col, &gids, 1);
+        let mut acc = AggAccumulator::for_spec(&spec);
+        acc.resize(1);
+        acc.update(Some(&col), &gids).unwrap();
+        assert_eq!(
+            acc.finish_column(&[0], &spec).value(0),
+            Value::Int64(i64::MIN)
+        );
+    }
+
+    #[test]
+    fn accumulator_empty_groups_finish_null_sum() {
+        let spec = AggSpec::new(AggKind::Sum, Expr::col(0), DataType::Int64, "s");
+        let mut acc = AggAccumulator::for_spec(&spec);
+        acc.resize(1);
+        // No rows fed: SUM over the empty group is NULL.
+        assert_eq!(acc.finish_column(&[0], &spec).value(0), Value::Null);
     }
 }

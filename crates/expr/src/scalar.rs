@@ -611,9 +611,12 @@ fn eval_binary(l: &Column, op: BinaryOp, r: &Column) -> Result<Column> {
     if no_nulls {
         if let (Some(a), Some(b)) = (l.as_i64(), r.as_i64()) {
             return Ok(match op {
-                Add => Column::from_i64(a.iter().zip(b).map(|(x, y)| x + y).collect()),
-                Sub => Column::from_i64(a.iter().zip(b).map(|(x, y)| x - y).collect()),
-                Mul => Column::from_i64(a.iter().zip(b).map(|(x, y)| x * y).collect()),
+                // Wrapping arithmetic: i64 overflow must produce the same
+                // result in debug and release builds and on every eval path
+                // (this kernel, the scalar fallback, the SUM accumulator).
+                Add => Column::from_i64(a.iter().zip(b).map(|(x, y)| x.wrapping_add(*y)).collect()),
+                Sub => Column::from_i64(a.iter().zip(b).map(|(x, y)| x.wrapping_sub(*y)).collect()),
+                Mul => Column::from_i64(a.iter().zip(b).map(|(x, y)| x.wrapping_mul(*y)).collect()),
                 Div => Column::from_f64(
                     a.iter()
                         .zip(b)
@@ -661,6 +664,26 @@ fn eval_binary(l: &Column, op: BinaryOp, r: &Column) -> Result<Column> {
                     LtEq => Column::from_bool(a.iter().zip(b).map(|(x, y)| x <= y).collect()),
                     Gt => Column::from_bool(a.iter().zip(b).map(|(x, y)| x > y).collect()),
                     GtEq => Column::from_bool(a.iter().zip(b).map(|(x, y)| x >= y).collect()),
+                    _ => unreachable!(),
+                });
+            }
+        }
+        // Date ± days arithmetic (e.g. `l_shipdate + 30`).
+        if let (Some(a), Some(b)) = (l.as_date32(), r.as_i64()) {
+            if matches!(op, Add | Sub) {
+                return Ok(match op {
+                    Add => Column::from_date32(
+                        a.iter()
+                            .zip(b)
+                            .map(|(x, y)| x.wrapping_add(*y as i32))
+                            .collect(),
+                    ),
+                    Sub => Column::from_date32(
+                        a.iter()
+                            .zip(b)
+                            .map(|(x, y)| x.wrapping_sub(*y as i32))
+                            .collect(),
+                    ),
                     _ => unreachable!(),
                 });
             }
@@ -736,16 +759,17 @@ fn eval_binary_scalar(a: &Value, op: BinaryOp, b: &Value) -> Result<Value> {
     }
     // Arithmetic.
     match (a, b) {
+        // Wrapping, matching the vectorized fast paths exactly.
         (Value::Int64(x), Value::Int64(y)) => Ok(match op {
-            Add => Value::Int64(x + y),
-            Sub => Value::Int64(x - y),
-            Mul => Value::Int64(x * y),
+            Add => Value::Int64(x.wrapping_add(*y)),
+            Sub => Value::Int64(x.wrapping_sub(*y)),
+            Mul => Value::Int64(x.wrapping_mul(*y)),
             Div => Value::Float64(*x as f64 / *y as f64),
             _ => unreachable!(),
         }),
         (Value::Date32(x), Value::Int64(y)) => Ok(match op {
-            Add => Value::Date32(x + *y as i32),
-            Sub => Value::Date32(x - *y as i32),
+            Add => Value::Date32(x.wrapping_add(*y as i32)),
+            Sub => Value::Date32(x.wrapping_sub(*y as i32)),
             _ => {
                 return Err(AccordionError::Execution(
                     "only +/- defined on dates".into(),
@@ -1091,5 +1115,70 @@ mod tests {
         let a = Column::from_i64(vec![1, 2]);
         let b = Column::from_i64(vec![1]);
         assert!(eval_binary(&a, BinaryOp::Add, &b).is_err());
+    }
+
+    #[test]
+    fn int_overflow_wraps_on_every_path() {
+        // The vectorized no-null fast path, the null-handling fallback, and
+        // the scalar evaluator must all wrap identically at i64::MAX.
+        let a = Column::from_i64(vec![i64::MAX, i64::MIN, i64::MAX]);
+        let b = Column::from_i64(vec![1, -1, 2]);
+        let fast = eval_binary(&a, BinaryOp::Add, &b).unwrap();
+        assert_eq!(
+            fast.as_i64().unwrap(),
+            &[i64::MIN, i64::MAX, i64::MIN + 1],
+            "no-null fast path wraps"
+        );
+        let mul = eval_binary(&a, BinaryOp::Mul, &b).unwrap();
+        assert_eq!(mul.as_i64().unwrap()[2], i64::MAX.wrapping_mul(2));
+        let sub = eval_binary(&b, BinaryOp::Sub, &a).unwrap();
+        assert_eq!(sub.as_i64().unwrap()[0], 1i64.wrapping_sub(i64::MAX));
+
+        // Same inputs with a null in the page take the scalar fallback; the
+        // non-null rows must produce the identical wrapped values.
+        let mut nb = ColumnBuilder::new(DataType::Int64, 3);
+        nb.push(Value::Int64(1));
+        nb.push(Value::Null);
+        nb.push(Value::Int64(2));
+        let b_null = nb.finish();
+        let slow = eval_binary(&a, BinaryOp::Add, &b_null).unwrap();
+        assert_eq!(slow.value(0), Value::Int64(i64::MIN));
+        assert_eq!(slow.value(1), Value::Null);
+        assert_eq!(slow.value(2), Value::Int64(i64::MIN + 1));
+        assert_eq!(
+            eval_binary_scalar(&Value::Int64(i64::MAX), BinaryOp::Add, &Value::Int64(1)).unwrap(),
+            Value::Int64(i64::MIN)
+        );
+    }
+
+    #[test]
+    fn date_plus_int_fast_path() {
+        let p = num_page();
+        // dates [100, 200, 300, 400] ± constant days.
+        let plus = Expr::add(Expr::col(3), Expr::lit_i64(30))
+            .evaluate(&p)
+            .unwrap();
+        assert_eq!(plus.as_date32().unwrap(), &[130, 230, 330, 430]);
+        let minus = Expr::binary(Expr::col(3), BinaryOp::Sub, Expr::lit_i64(50))
+            .evaluate(&p)
+            .unwrap();
+        assert_eq!(minus.as_date32().unwrap(), &[50, 150, 250, 350]);
+        // With a null present the fallback runs; results must agree.
+        let mut nb = ColumnBuilder::new(DataType::Int64, 4);
+        for v in [
+            Value::Int64(30),
+            Value::Null,
+            Value::Int64(30),
+            Value::Int64(30),
+        ] {
+            nb.push(v);
+        }
+        let slow = eval_binary(p.column(3), BinaryOp::Add, &nb.finish()).unwrap();
+        assert_eq!(slow.value(0), Value::Date32(130));
+        assert_eq!(slow.value(1), Value::Null);
+        assert_eq!(slow.value(3), Value::Date32(430));
+        // Comparisons on dates still route through the comparison kernels.
+        let cmp = Expr::lt(Expr::col(3), Expr::lit_date(250));
+        assert_eq!(cmp.filter_indices(&p).unwrap(), vec![0, 1]);
     }
 }
