@@ -36,6 +36,10 @@ use accordion_common::config::ElasticityConfig;
 use accordion_common::{AccordionError, Json, Result};
 use accordion_tpch::{all_queries, generate, TpchOptions};
 
+pub mod workload;
+
+pub use workload::{compare_workload, run_workload, validate_workload, WorkloadOptions};
+
 /// Harness configuration: what to run and how often.
 #[derive(Debug, Clone)]
 pub struct BenchOptions {
@@ -257,9 +261,22 @@ pub fn run(opts: &BenchOptions) -> Result<Json> {
         .with("queries", Json::Arr(query_reports)))
 }
 
-/// Checks `report` against the `BENCH_*.json` schema. Returns every
-/// violation found (empty = valid).
+/// The report flavour: matrix reports (the original schema) carry no
+/// `kind` field; workload reports say `kind: "workload"`.
+fn report_kind(report: &Json) -> &str {
+    report
+        .get("kind")
+        .and_then(Json::as_str)
+        .unwrap_or("matrix")
+}
+
+/// Checks `report` against the `BENCH_*.json` schema — the matrix schema
+/// by default, the workload schema when the report says
+/// `kind: "workload"`. Returns every violation found (empty = valid).
 pub fn validate(report: &Json) -> Vec<String> {
+    if report_kind(report) == "workload" {
+        return validate_workload(report);
+    }
     let mut errs = Vec::new();
     let mut need = |path: &str, ok: bool| {
         if !ok {
@@ -385,7 +402,20 @@ pub fn validate(report: &Json) -> Vec<String> {
 /// slower than baseline AND more than `floor_ms` slower in absolute terms —
 /// the floor keeps micro-benchmark noise at tiny scale factors from
 /// tripping the gate. Returns every violation (empty = pass).
+///
+/// Workload reports (`kind: "workload"`) dispatch to
+/// [`compare_workload`]; comparing a workload report against a matrix
+/// report (or vice versa) is a single "kind" violation.
 pub fn compare(baseline: &Json, candidate: &Json, tolerance: f64, floor_ms: f64) -> Vec<String> {
+    match (report_kind(baseline), report_kind(candidate)) {
+        ("workload", "workload") => return compare_workload(baseline, candidate),
+        ("workload", other) | (other, "workload") => {
+            return vec![format!(
+                "report kind mismatch: cannot compare a workload report against '{other}'"
+            )];
+        }
+        _ => {}
+    }
     let mut errs = Vec::new();
 
     // Table fingerprints: the generated data must be identical, otherwise

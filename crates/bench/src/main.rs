@@ -25,7 +25,10 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use accordion_bench::{compare, compare_kernels, run, validate, BenchOptions};
+use accordion_bench::{
+    compare, compare_kernels, run, run_workload, validate, BenchOptions, WorkloadOptions,
+};
+use accordion_common::config::AdmissionConfig;
 use accordion_common::Json;
 
 struct Cli {
@@ -38,6 +41,16 @@ struct Cli {
     kernels_baseline: Option<PathBuf>,
     kernels_candidate: Option<PathBuf>,
     kernels_out: Option<PathBuf>,
+    // Workload-driver mode (`--workload`).
+    workload: bool,
+    contention: bool,
+    require_cross_retune: bool,
+    clients: Option<usize>,
+    rate_qps: Option<f64>,
+    total: usize,
+    deadlines_ms: Vec<u64>,
+    max_queries: Option<usize>,
+    admission_policy: String,
 }
 
 fn usage() -> ! {
@@ -46,7 +59,10 @@ fn usage() -> ! {
          \x20    [--name NAME] [--out DIR] [--dops LIST] [--workers LIST] [--modes LIST]\n\
          \x20    [--warmup N] [--repeats N] [--page-rows N]\n\
          \x20    [--compare BASELINE.json] [--tolerance F] [--floor-ms F] [--check FILE]\n\
-         \x20    [--kernels-baseline FILE --kernels-candidate FILE [--kernels-out FILE]]"
+         \x20    [--kernels-baseline FILE --kernels-candidate FILE [--kernels-out FILE]]\n\
+         \x20    [--workload [--contention] [--clients N | --rate-qps F] [--total N]\n\
+         \x20     [--deadlines-ms LIST] [--max-queries N] [--admission queue|reject]\n\
+         \x20     [--require-cross-retune]]"
     );
     std::process::exit(2);
 }
@@ -74,11 +90,36 @@ fn parse_args() -> Cli {
         kernels_baseline: None,
         kernels_candidate: None,
         kernels_out: None,
+        workload: false,
+        contention: false,
+        require_cross_retune: false,
+        clients: None,
+        rate_qps: None,
+        total: 8,
+        deadlines_ms: vec![50, 5_000],
+        max_queries: None,
+        admission_policy: "queue".to_string(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         if flag == "--help" || flag == "-h" {
             usage();
+        }
+        // Boolean flags take no value.
+        match flag.as_str() {
+            "--workload" => {
+                cli.workload = true;
+                continue;
+            }
+            "--contention" => {
+                cli.contention = true;
+                continue;
+            }
+            "--require-cross-retune" => {
+                cli.require_cross_retune = true;
+                continue;
+            }
+            _ => {}
         }
         let Some(value) = args.next() else {
             eprintln!("accordion-bench: {flag} needs a value");
@@ -109,6 +150,12 @@ fn parse_args() -> Cli {
             "--kernels-baseline" => cli.kernels_baseline = Some(PathBuf::from(value)),
             "--kernels-candidate" => cli.kernels_candidate = Some(PathBuf::from(value)),
             "--kernels-out" => cli.kernels_out = Some(PathBuf::from(value)),
+            "--clients" => cli.clients = Some(value.parse().unwrap_or_else(|_| usage())),
+            "--rate-qps" => cli.rate_qps = Some(value.parse().unwrap_or_else(|_| usage())),
+            "--total" => cli.total = value.parse().unwrap_or_else(|_| usage()),
+            "--deadlines-ms" => cli.deadlines_ms = parse_list("--deadlines-ms", &value),
+            "--max-queries" => cli.max_queries = Some(value.parse().unwrap_or_else(|_| usage())),
+            "--admission" => cli.admission_policy = value,
             _ => {
                 eprintln!("accordion-bench: unknown flag {flag}");
                 usage();
@@ -183,6 +230,130 @@ fn run_kernel_gate(cli: &Cli, base_path: &PathBuf, cand_path: &PathBuf) -> ExitC
     ExitCode::SUCCESS
 }
 
+/// `--workload`: run the multi-query workload driver and write
+/// `BENCH_<name>.json` (workload schema).
+fn run_workload_mode(cli: &Cli) -> ExitCode {
+    let admission = match cli.max_queries {
+        None => AdmissionConfig::default(),
+        Some(max) => match cli.admission_policy.as_str() {
+            "queue" => AdmissionConfig::queued(max),
+            "reject" => AdmissionConfig::rejecting(max),
+            other => {
+                eprintln!("accordion-bench: unknown admission policy '{other}'");
+                usage();
+            }
+        },
+    };
+    let defaults = WorkloadOptions::default();
+    let opts = WorkloadOptions {
+        name: cli.opts.name.clone(),
+        scale_factor: cli.opts.scale_factor,
+        seed: cli.opts.seed,
+        page_rows: cli.opts.page_rows,
+        workers: cli.opts.workers.first().copied().unwrap_or(4),
+        // `--rate-qps` selects the open loop unless `--clients` insists.
+        clients: match (cli.clients, cli.rate_qps) {
+            (Some(n), _) => Some(n),
+            (None, Some(_)) => None,
+            (None, None) => defaults.clients,
+        },
+        rate_qps: cli.rate_qps.unwrap_or(defaults.rate_qps),
+        total: cli.total,
+        deadlines_ms: cli.deadlines_ms.clone(),
+        dops: cli.opts.dops.clone(),
+        queries: cli.opts.queries.clone(),
+        admission,
+        contention: cli.contention,
+    };
+    let report = match run_workload(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("accordion-bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let errs = validate(&report);
+    if !errs.is_empty() {
+        for e in &errs {
+            eprintln!("accordion-bench: emitted report invalid: {e}");
+        }
+        return ExitCode::FAILURE;
+    }
+    let out_path = cli.out_dir.join(format!("BENCH_{}.json", opts.name));
+    if let Err(e) = std::fs::create_dir_all(&cli.out_dir) {
+        eprintln!("accordion-bench: mkdir {}: {e}", cli.out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out_path, report.to_string_pretty()) {
+        eprintln!("accordion-bench: write {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", out_path.display());
+
+    for q in report
+        .get("queries")
+        .and_then(Json::as_arr)
+        .into_iter()
+        .flatten()
+    {
+        println!(
+            "#{:<3} {:>10}  dop={} deadline={:>6} ms  {:>9.2} ms  {}  retunes={} sla_met={}",
+            q.get("id").and_then(Json::as_u64).unwrap_or(0),
+            q.get("query").and_then(Json::as_str).unwrap_or("?"),
+            q.get("planned_dop").and_then(Json::as_u64).unwrap_or(0),
+            q.get("deadline_ms").and_then(Json::as_u64).unwrap_or(0),
+            q.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0),
+            q.get("outcome").and_then(Json::as_str).unwrap_or("?"),
+            q.get("retunes").and_then(Json::as_u64).unwrap_or(0),
+            q.get("sla_met").and_then(Json::as_bool).unwrap_or(false),
+        );
+    }
+    let summary = report.get("summary");
+    let stat = |key: &str| {
+        summary
+            .and_then(|s| s.get(key))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    let cross = stat("cross_query_retunes");
+    println!(
+        "workload: {} submitted, {} completed, {} rejected; SLO attainment {:.2}; \
+         fleet rounds {} (cross-query {})",
+        stat("submitted"),
+        stat("completed"),
+        stat("rejected"),
+        summary
+            .and_then(|s| s.get("sla_attainment"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0),
+        stat("fleet_rounds"),
+        cross,
+    );
+
+    if let Some(baseline_path) = &cli.baseline {
+        let baseline = match load_json(baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("accordion-bench: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let issues = compare(&baseline, &report, cli.tolerance, cli.floor_ms);
+        if !issues.is_empty() {
+            for i in &issues {
+                eprintln!("regression vs {}: {i}", baseline_path.display());
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("no regressions vs {}", baseline_path.display());
+    }
+    if cli.require_cross_retune && cross == 0 {
+        eprintln!("accordion-bench: --require-cross-retune: no cross-query reallocation happened");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let cli = parse_args();
 
@@ -215,6 +386,10 @@ fn main() -> ExitCode {
                 }
             }
         };
+    }
+
+    if cli.workload {
+        return run_workload_mode(&cli);
     }
 
     let report = match run(&cli.opts) {

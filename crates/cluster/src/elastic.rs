@@ -56,12 +56,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use accordion_common::config::{ElasticityConfig, ElasticityMode};
-use accordion_common::Result;
+use accordion_common::{Result, SharedClock};
 use accordion_data::page::{EndReason, Page};
 use accordion_exec::metrics::{QueryMetrics, RetuneEvent, RuntimeCollector};
 use accordion_exec::splits::SplitQueue;
 use accordion_net::{ExchangeRegistry, ExchangeWriter};
 use accordion_plan::fragment::DopBounds;
+
+use crate::fleet::{FleetHandle, MemberSample};
 
 /// Polls to wait for a first usable rate sample before an `Auto` decision
 /// falls back to assuming zero throughput (which predicts infinite
@@ -224,6 +226,17 @@ pub struct ElasticityController {
     metrics: Arc<QueryMetrics>,
     collector: RuntimeCollector,
     stages: Vec<StageControl>,
+    /// The query-start anchor for deadline accounting, on the metrics
+    /// clock (injectable via `QueryMetrics::with_clock` for deterministic
+    /// tests). Every `Auto` decision budgets against the deadline **minus
+    /// elapsed time since this instant** — handing the predictor the full
+    /// deadline at every boundary would let a query halfway through its
+    /// budget keep planning as if untouched.
+    clock: SharedClock,
+    start_nanos: u64,
+    /// Fleet membership, when this query participates in cross-query DOP
+    /// arbitration (see [`crate::fleet`]). `None` = solo behavior.
+    fleet: Option<FleetHandle>,
 }
 
 impl ElasticityController {
@@ -241,12 +254,63 @@ impl ElasticityController {
         for st in &stages {
             st.queue.set_pause_after(Some(first_boundary));
         }
+        let clock = metrics.clock();
+        let start_nanos = clock.now_nanos();
         ElasticityController {
             config,
             metrics,
             collector,
             stages,
+            clock,
+            start_nanos,
+            fleet: None,
         }
+    }
+
+    /// Joins this query to a fleet: its controller publishes live samples
+    /// each poll and clamps `Auto` decisions to the budget the fleet
+    /// grants. The handle's drop (with the controller) deregisters the
+    /// query.
+    pub fn attach_fleet(&mut self, fleet: FleetHandle) {
+        self.fleet = Some(fleet);
+    }
+
+    /// Deadline budget still available at this instant: the configured
+    /// deadline minus time elapsed since the controller was built
+    /// (query start). Saturates at zero — an exhausted budget flows into
+    /// [`WhatIfPredictor::choose_dop`]'s unmeetable-deadline path, which
+    /// takes the maximum DOP in bounds.
+    fn remaining_budget(&self, deadline_ms: u64) -> Duration {
+        let elapsed = Duration::from_nanos(self.clock.now_nanos().saturating_sub(self.start_nanos));
+        Duration::from_millis(deadline_ms).saturating_sub(elapsed)
+    }
+
+    /// Publishes this query's aggregate live state to the fleet and gives
+    /// the arbiter a chance to run. Aggregation over non-done stages keeps
+    /// the common one-elastic-stage case exact and degrades gracefully for
+    /// multi-stage queries (total volume, summed rate, widest DOP).
+    fn publish_to_fleet(&self) {
+        let Some(fleet) = &self.fleet else { return };
+        let mut remaining_rows = 0u64;
+        let mut measured_rate = 0.0f64;
+        let mut current_dop = 0u32;
+        for st in &self.stages {
+            if st.done {
+                continue;
+            }
+            remaining_rows += st.queue.remaining_rows();
+            let rate = self.collector.last_rate(st.stage);
+            if rate.is_finite() && rate > 0.0 {
+                measured_rate += rate;
+            }
+            current_dop = current_dop.max(st.dop());
+        }
+        fleet.publish(MemberSample {
+            remaining_rows,
+            measured_rate,
+            current_dop: current_dop.max(1),
+        });
+        fleet.offer_arbitration();
     }
 
     /// Runs the control loop until every elastic stage's split queue is
@@ -265,6 +329,7 @@ impl ElasticityController {
                 break;
             }
             self.collector.sample();
+            self.publish_to_fleet();
             let mut pending = false;
             for i in 0..self.stages.len() {
                 if self.stages[i].done {
@@ -342,9 +407,15 @@ impl ElasticityController {
                     rate,
                     dop,
                     bounds,
-                    Duration::from_millis(deadline_ms),
+                    self.remaining_budget(deadline_ms),
                 );
-                (choice.dop, choice.predicted_secs)
+                // A fleet budget caps what this query may take from the
+                // shared pool; the stage still keeps its own minimum.
+                let target = match self.fleet.as_ref().and_then(FleetHandle::budget) {
+                    Some(cap) => bounds.clamp(choice.dop.min(cap)),
+                    None => choice.dop,
+                };
+                (target, choice.predicted_secs)
             }
         };
 
@@ -513,6 +584,46 @@ mod tests {
         let c = WhatIfPredictor::choose_dop(0, f64::NAN, 2, bounds(2, 8), Duration::ZERO);
         assert_eq!(c.dop, 2);
         assert_eq!(c.predicted_secs, 0.0);
+    }
+
+    #[test]
+    fn half_spent_deadline_chooses_a_strictly_higher_dop() {
+        use accordion_common::config::ElasticityConfig;
+        use accordion_common::ManualClock;
+
+        // The headline regression: the controller must budget each Auto
+        // decision against the deadline MINUS elapsed query time. With the
+        // full-deadline bug, both decisions below were identical.
+        let clock = ManualClock::shared();
+        let metrics = Arc::new(QueryMetrics::with_clock(clock.clone()));
+        let ctrl = ElasticityController::new(ElasticityConfig::auto(10_000), metrics, Vec::new());
+
+        // 1000 rows left, 100 rows/s measured at 2 tasks → 50 rows/s/task.
+        let decide = |budget: Duration| {
+            WhatIfPredictor::choose_dop(1000, 100.0, 2, bounds(1, 8), budget).dop
+        };
+
+        // Fresh query: the full 10 s remain; dop 2 meets it exactly.
+        assert_eq!(ctrl.remaining_budget(10_000), Duration::from_secs(10));
+        let fresh = decide(ctrl.remaining_budget(10_000));
+        assert_eq!(fresh, 2);
+
+        // Half the deadline burned at the same rate/volume: only 5 s left,
+        // so the same work now needs dop 4 — strictly more than before.
+        clock.advance_millis(5_000);
+        assert_eq!(ctrl.remaining_budget(10_000), Duration::from_secs(5));
+        let half_spent = decide(ctrl.remaining_budget(10_000));
+        assert_eq!(half_spent, 4);
+        assert!(
+            half_spent > fresh,
+            "a half-spent deadline must choose a strictly higher DOP"
+        );
+
+        // Budget exhaustion saturates at zero, which the predictor treats
+        // as unmeetable → max DOP.
+        clock.advance_millis(60_000);
+        assert_eq!(ctrl.remaining_budget(10_000), Duration::ZERO);
+        assert_eq!(decide(ctrl.remaining_budget(10_000)), 8);
     }
 
     #[test]

@@ -25,9 +25,14 @@
 //! [`ExecOptions::elasticity`]: accordion_exec::executor::ExecOptions
 
 pub mod elastic;
+pub mod fleet;
 pub mod matrix;
 pub mod scheduler;
 
 pub use elastic::{ElasticityController, StageControl, WhatIfChoice, WhatIfPredictor};
+pub use fleet::{
+    AdmissionController, AdmissionPermit, AdmissionStats, FleetConfig, FleetController,
+    FleetHandle, FleetRetuneEvent, FleetSnapshot, MemberSample,
+};
 pub use matrix::{run_cell, CellOutcome, MatrixCell};
 pub use scheduler::QueryExecutor;

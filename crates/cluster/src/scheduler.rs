@@ -45,20 +45,22 @@ use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
+use accordion_common::config::ElasticityMode;
 use accordion_common::sync::{Mutex, Semaphore};
 use accordion_common::{AccordionError, Result};
 use accordion_exec::driver::{run_task, TaskContext};
 use accordion_exec::executor::{drain_result, register_exchanges_leased, ExecOptions, QueryResult};
 use accordion_exec::metrics::QueryMetrics;
 use accordion_exec::splits::{SplitFeed, SplitQueue};
-use accordion_net::{ExchangeReader, ExchangeRegistry, ExchangeWriter};
-use accordion_plan::fragment::StageTree;
+use accordion_net::{ExchangeReader, ExchangeRegistry, ExchangeWriter, NodeNic};
+use accordion_plan::fragment::{DopBounds, StageTree};
 use accordion_plan::logical::LogicalPlan;
 use accordion_plan::optimizer::Optimizer;
 use accordion_plan::pipeline::{split_pipelines, PipelineSpec};
 use accordion_storage::catalog::Catalog;
 
 use crate::elastic::{ElasticityController, StageControl};
+use crate::fleet::{AdmissionController, FleetConfig, FleetController, FleetHandle};
 
 /// Everything one task thread needs, assembled before spawning.
 struct TaskSpec {
@@ -165,6 +167,14 @@ pub struct QueryExecutor {
     /// Exchange registries of in-flight queries, keyed by a local id.
     active: Arc<Mutex<HashMap<u64, Arc<ExchangeRegistry>>>>,
     next_query_id: Arc<std::sync::atomic::AtomicU64>,
+    /// Gates query starts against the pool (`ExecOptions::admission`,
+    /// fixed at construction — per-call options cannot widen the limit).
+    admission: Arc<AdmissionController>,
+    /// Cross-query DOP arbitration over this pool's slots; elastic `Auto`
+    /// queries join it for their lifetime.
+    fleet: Arc<FleetController>,
+    /// The node-level NIC budget every query's exchange traffic shares.
+    node_nic: Arc<NodeNic>,
 }
 
 impl std::fmt::Debug for QueryExecutor {
@@ -198,16 +208,35 @@ impl Drop for ActiveGuard {
 impl QueryExecutor {
     pub fn new(opts: ExecOptions) -> Self {
         let gate = Arc::new(Semaphore::new(opts.worker_threads.max(1)));
+        let admission = Arc::new(AdmissionController::new(opts.admission));
+        let fleet = Arc::new(FleetController::new(FleetConfig {
+            total_slots: opts.worker_threads.max(1) as u32,
+            ..FleetConfig::default()
+        }));
+        let node_nic = Arc::new(NodeNic::new(&opts.network));
         QueryExecutor {
             opts,
             gate,
             active: Arc::new(Mutex::new(HashMap::new())),
             next_query_id: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            admission,
+            fleet,
+            node_nic,
         }
     }
 
     pub fn options(&self) -> &ExecOptions {
         &self.opts
+    }
+
+    /// The admission gate shared by every query on this pool.
+    pub fn admission(&self) -> &Arc<AdmissionController> {
+        &self.admission
+    }
+
+    /// The fleet arbiter shared by every elastic `Auto` query on this pool.
+    pub fn fleet(&self) -> &Arc<FleetController> {
+        &self.fleet
     }
 
     /// Number of queries currently executing on this pool.
@@ -224,6 +253,10 @@ impl QueryExecutor {
         for registry in registries {
             registry.poison(err.clone());
         }
+        // Queries parked in the admission queue are in flight too — fail
+        // them with the same error rather than letting them admit into a
+        // shutting-down pool.
+        self.admission.abort_waiters(err);
     }
 
     /// Executes a fragmented stage tree, running all stages concurrently on
@@ -233,16 +266,25 @@ impl QueryExecutor {
     }
 
     /// [`Self::execute_tree`] with per-call options (a session's page size,
-    /// network shape, elasticity mode). `opts.worker_threads` is ignored:
-    /// the compute-slot gate belongs to the executor, sized once at
-    /// construction, and is shared by every query on this pool.
+    /// network shape, elasticity mode). `opts.worker_threads` and
+    /// `opts.admission` are ignored: the compute-slot gate and the
+    /// admission limit belong to the executor, sized once at construction,
+    /// and are shared by every query on this pool.
     pub fn execute_tree_opts(
         &self,
         catalog: &Catalog,
         tree: &StageTree,
         opts: &ExecOptions,
     ) -> Result<QueryResult> {
-        let registry = Arc::new(ExchangeRegistry::new(&opts.network));
+        // Admission first: under the `Queue` policy this blocks until the
+        // pool has room; the permit is held for the whole execution.
+        let _permit = self.admission.admit()?;
+        // Each query's exchange traffic runs through its own NIC carve-out
+        // backed by the executor-wide node bucket.
+        let registry = Arc::new(ExchangeRegistry::with_nic(
+            &opts.network,
+            self.node_nic.for_query(&opts.network),
+        ));
         let gate = self.gate.clone();
         let metrics = Arc::new(QueryMetrics::new());
         let query_id = self
@@ -334,11 +376,29 @@ impl QueryExecutor {
                     lease,
                 ));
             }
-            Some(ElasticityController::new(
-                elastic_cfg,
-                metrics.clone(),
-                controls,
-            ))
+            let mut ctrl = ElasticityController::new(elastic_cfg, metrics.clone(), controls);
+            // Deadline-driven queries join the fleet: their budgets are
+            // arbitrated against every other live Auto query on this pool.
+            if let ElasticityMode::Auto { deadline_ms } = elastic_cfg.mode {
+                let mut union: Option<DopBounds> = None;
+                for f in tree.fragments() {
+                    if let Some(b) = f.elastic_bounds {
+                        union = Some(match union {
+                            None => b,
+                            Some(u) => DopBounds::new(u.min.min(b.min), u.max.max(b.max)),
+                        });
+                    }
+                }
+                if let Some(bounds) = union {
+                    ctrl.attach_fleet(FleetHandle::register(
+                        self.fleet.clone(),
+                        query_id,
+                        deadline_ms,
+                        bounds,
+                    ));
+                }
+            }
+            Some(ctrl)
         };
 
         let rt = QueryRt {

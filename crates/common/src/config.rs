@@ -103,9 +103,16 @@ impl ClusterConfig {
 /// the elastic exchange buffers that ride on it (`accordion-net`).
 #[derive(Debug, Clone)]
 pub struct NetworkConfig {
-    /// Per-node NIC bandwidth in bytes/second (`None` = unlimited).
-    /// The paper's nodes have 10 Gbps NICs.
+    /// **Node-level** NIC bandwidth in bytes/second (`None` = unlimited).
+    /// Shared by every query running on the node; the paper's nodes have
+    /// 10 Gbps NICs.
     pub nic_bandwidth_bytes_per_sec: Option<u64>,
+    /// Per-query carve-out of the node NIC in bytes/second (`None` = a
+    /// query may use the whole node budget). With both set, a transfer is
+    /// charged against its query's bucket first and the node bucket
+    /// second, so one heavy shuffle cannot starve the fabric for every
+    /// other query on the node.
+    pub nic_per_query_bytes_per_sec: Option<u64>,
     /// One-way latency added to each page transfer, microseconds.
     pub link_latency_us: u64,
     /// Maximum bytes returned by one simulated exchange RPC response.
@@ -122,6 +129,7 @@ impl Default for NetworkConfig {
     fn default() -> Self {
         NetworkConfig {
             nic_bandwidth_bytes_per_sec: None,
+            nic_per_query_bytes_per_sec: None,
             link_latency_us: 0,
             max_response_bytes: 4 << 20,
             initial_buffer_pages: 1,
@@ -139,6 +147,13 @@ impl NetworkConfig {
     /// Cap each node's NIC at `mbps` megabits/second.
     pub fn with_nic_mbps(mut self, mbps: u64) -> Self {
         self.nic_bandwidth_bytes_per_sec = Some(mbps * 1_000_000 / 8);
+        self
+    }
+
+    /// Cap each **query's** share of the node NIC at `mbps`
+    /// megabits/second (see `nic_per_query_bytes_per_sec`).
+    pub fn with_per_query_nic_mbps(mut self, mbps: u64) -> Self {
+        self.nic_per_query_bytes_per_sec = Some(mbps * 1_000_000 / 8);
         self
     }
 
@@ -355,6 +370,110 @@ impl ElasticityConfig {
     }
 }
 
+/// What happens to a query that arrives while the concurrency limit is
+/// already saturated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Block the submitting thread until a slot frees up (bounded by
+    /// `AdmissionConfig::queue_limit`).
+    #[default]
+    Queue,
+    /// Fail the query immediately with an execution error.
+    Reject,
+}
+
+impl AdmissionPolicy {
+    /// Strict parsing — the API behind `SET`/CLI/`ACCORDION_ADMISSION`.
+    pub fn try_parse(value: &str) -> crate::error::Result<Self> {
+        match value {
+            "queue" => Ok(AdmissionPolicy::Queue),
+            "reject" => Ok(AdmissionPolicy::Reject),
+            v => Err(crate::error::AccordionError::Parse(format!(
+                "unknown admission policy '{v}' (expected queue or reject)"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for AdmissionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionPolicy::Queue => write!(f, "queue"),
+            AdmissionPolicy::Reject => write!(f, "reject"),
+        }
+    }
+}
+
+/// Multi-query admission control: how many queries may run concurrently on
+/// the shared compute-slot pool, and what to do with the overflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Maximum queries executing at once (`None` = unlimited, the
+    /// single-tenant behavior of earlier versions).
+    pub max_concurrent_queries: Option<usize>,
+    /// Overflow policy once `max_concurrent_queries` is reached.
+    pub policy: AdmissionPolicy,
+    /// With [`AdmissionPolicy::Queue`], how many queries may wait before
+    /// further arrivals are rejected outright.
+    pub queue_limit: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_concurrent_queries: None,
+            policy: AdmissionPolicy::Queue,
+            queue_limit: 64,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// Admit at most `max` concurrent queries, queueing the rest.
+    pub fn queued(max: usize) -> Self {
+        AdmissionConfig {
+            max_concurrent_queries: Some(max.max(1)),
+            policy: AdmissionPolicy::Queue,
+            ..AdmissionConfig::default()
+        }
+    }
+
+    /// Admit at most `max` concurrent queries, rejecting the rest.
+    pub fn rejecting(max: usize) -> Self {
+        AdmissionConfig {
+            max_concurrent_queries: Some(max.max(1)),
+            policy: AdmissionPolicy::Reject,
+            ..AdmissionConfig::default()
+        }
+    }
+
+    /// Reads `ACCORDION_MAX_QUERIES` (a positive integer; anything else —
+    /// including unset — means unlimited) and `ACCORDION_ADMISSION`
+    /// (`queue`/`reject`; lenient like [`ElasticityConfig::from_env`], so
+    /// a bad value degrades to the default `queue` rather than failing
+    /// every run).
+    pub fn from_env() -> Self {
+        let max_concurrent_queries = std::env::var("ACCORDION_MAX_QUERIES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0);
+        let policy = std::env::var("ACCORDION_ADMISSION")
+            .ok()
+            .and_then(|v| AdmissionPolicy::try_parse(&v).ok())
+            .unwrap_or_default();
+        AdmissionConfig {
+            max_concurrent_queries,
+            policy,
+            ..AdmissionConfig::default()
+        }
+    }
+
+    /// True when a concurrency limit is actually enforced.
+    pub fn limited(&self) -> bool {
+        self.max_concurrent_queries.is_some()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -484,6 +603,35 @@ mod tests {
             ElasticityConfig::parse_mode(Some("bogus")),
             ElasticityMode::Off
         );
+    }
+
+    #[test]
+    fn admission_defaults_and_parsing() {
+        let a = AdmissionConfig::default();
+        assert!(!a.limited(), "default admission is unlimited");
+        assert_eq!(a.policy, AdmissionPolicy::Queue);
+        assert_eq!(AdmissionConfig::queued(2).max_concurrent_queries, Some(2));
+        assert_eq!(
+            AdmissionConfig::rejecting(3).policy,
+            AdmissionPolicy::Reject
+        );
+        // A zero cap would deadlock every query; clamp to one.
+        assert_eq!(AdmissionConfig::queued(0).max_concurrent_queries, Some(1));
+        assert_eq!(
+            AdmissionPolicy::try_parse("reject").unwrap(),
+            AdmissionPolicy::Reject
+        );
+        assert!(AdmissionPolicy::try_parse("drop").is_err());
+        assert_eq!(AdmissionPolicy::Queue.to_string(), "queue");
+    }
+
+    #[test]
+    fn per_query_nic_conversion() {
+        let n = NetworkConfig::unlimited()
+            .with_nic_mbps(80)
+            .with_per_query_nic_mbps(8);
+        assert_eq!(n.nic_bandwidth_bytes_per_sec, Some(10_000_000));
+        assert_eq!(n.nic_per_query_bytes_per_sec, Some(1_000_000));
     }
 
     #[test]

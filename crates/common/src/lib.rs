@@ -29,7 +29,10 @@ pub mod metrics;
 pub mod sync;
 
 pub use clock::{Clock, ManualClock, SharedClock, SystemClock};
-pub use config::{ClusterConfig, ElasticityConfig, ElasticityMode, EngineConfig, NetworkConfig};
+pub use config::{
+    AdmissionConfig, AdmissionPolicy, ClusterConfig, ElasticityConfig, ElasticityMode,
+    EngineConfig, NetworkConfig,
+};
 pub use error::{AccordionError, Result};
 pub use id::{
     BufferId, DriverId, NodeId, PipelineId, PlanNodeId, QueryId, SplitId, StageId, TaskId,

@@ -3,6 +3,7 @@
 //! ```text
 //! accordion-core server [--addr 127.0.0.1:4433] [--sf 0.02] [--workers N]
 //!                       [--dop N] [--elasticity MODE]
+//!                       [--max-queries N] [--admission queue|reject]
 //!     Generate TPC-H data at the scale factor, start the server, and run
 //!     until killed. Prints `accordion-core listening on <addr>` when
 //!     ready.
@@ -18,7 +19,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use accordion_cluster::QueryExecutor;
-use accordion_common::config::ElasticityConfig;
+use accordion_common::config::{AdmissionConfig, AdmissionPolicy, ElasticityConfig};
 use accordion_core::{Client, QueryServer, Response, ServerConfig};
 use accordion_exec::ExecOptions;
 use accordion_sql::parse_statements;
@@ -76,6 +77,26 @@ fn run_server(args: &[String]) -> Result<(), String> {
             ..ElasticityConfig::default()
         },
     };
+    // Admission gate: `--max-queries` limits concurrent queries on the
+    // shared pool; `--admission` picks what happens past the limit.
+    let max_queries: Option<usize> = match flag_value(args, "--max-queries")? {
+        None => None,
+        Some(s) => Some(
+            s.parse()
+                .ok()
+                .filter(|&n: &usize| n > 0)
+                .ok_or_else(|| format!("invalid --max-queries: '{s}' (positive integer)"))?,
+        ),
+    };
+    let policy = match flag_value(args, "--admission")? {
+        None => AdmissionPolicy::default(),
+        Some(s) => AdmissionPolicy::try_parse(&s).map_err(|e| e.to_string())?,
+    };
+    let admission = AdmissionConfig {
+        max_concurrent_queries: max_queries,
+        policy,
+        ..AdmissionConfig::default()
+    };
 
     eprintln!("generating TPC-H data at sf {sf} ...");
     let data = generate(&TpchOptions {
@@ -89,6 +110,7 @@ fn run_server(args: &[String]) -> Result<(), String> {
     let exec = ExecOptions {
         worker_threads: workers,
         elasticity,
+        admission,
         ..ExecOptions::default()
     };
     let executor = QueryExecutor::new(exec.clone());

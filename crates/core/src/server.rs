@@ -13,7 +13,8 @@
 //! - `SET deadline_ms | elasticity | dop` — session-scoped tunables
 //!   ([`SessionVars`]); they shape the per-query [`ExecOptions`] and the
 //!   optimizer's planned DOP without touching other sessions.
-//! - `SHOW <var> | ALL | TABLES` — introspection.
+//! - `SHOW <var> | ALL | TABLES | ADMISSION` — introspection
+//!   (`ADMISSION` reports the shared executor's admission-gate counters).
 //! - `SELECT ...` — parsed and analyzed by `accordion-sql` against the
 //!   server catalog, executed on the shared pool, streamed back as CSV
 //!   page by page.
@@ -257,6 +258,23 @@ fn run_batch(
                     Ok(format!(
                         "tables: {}",
                         shared.catalog.table_names().join(", ")
+                    ))
+                } else if name == "admission" {
+                    // Live view of the shared executor's admission gate.
+                    let stats = shared.executor.admission().stats();
+                    let config = shared.executor.admission().config();
+                    Ok(format!(
+                        "admission: policy={} max={} running={} waiting={} \
+                         admitted={} rejected={} peak_running={}",
+                        config.policy,
+                        config
+                            .max_concurrent_queries
+                            .map_or("unlimited".to_string(), |m| m.to_string()),
+                        stats.running,
+                        stats.waiting,
+                        stats.admitted,
+                        stats.rejected,
+                        stats.peak_running,
                     ))
                 } else {
                     vars.show(&name)

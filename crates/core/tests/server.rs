@@ -192,6 +192,75 @@ fn batches_return_one_frame_per_statement() {
 }
 
 #[test]
+fn show_admission_reports_the_gate_and_rejections_surface_as_err_frames() {
+    use accordion_common::config::AdmissionConfig;
+
+    // A server whose executor rejects past 1 concurrent query.
+    let exec = ExecOptions {
+        worker_threads: 2,
+        elasticity: ElasticityConfig::off(),
+        admission: AdmissionConfig::rejecting(1),
+        ..ExecOptions::with_page_rows(3)
+    };
+    let executor = QueryExecutor::new(exec.clone());
+    let config = ServerConfig {
+        default_dop: 2,
+        exec,
+    };
+    let mut server = QueryServer::start(catalog(), executor, config, "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let Response::Ok(shown) = client.send("SHOW admission").unwrap() else {
+        panic!("SHOW admission returns OK");
+    };
+    assert!(
+        shown.contains("policy=reject") && shown.contains("max=1"),
+        "{shown}"
+    );
+
+    // Sessions hammer the 1-query gate; every statement either succeeds
+    // with the right rows or comes back as a clean admission ERR frame.
+    let addr = server.local_addr();
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            let mut outcomes = (0u32, 0u32); // (ok, rejected)
+            for _ in 0..10 {
+                match client.query(GROUP_QUERY) {
+                    Ok(rs) => {
+                        assert_eq!(rs.rows, group_query_expected());
+                        outcomes.0 += 1;
+                    }
+                    Err(e) => {
+                        assert!(
+                            e.to_string().contains("admission rejected"),
+                            "unexpected error: {e}"
+                        );
+                        outcomes.1 += 1;
+                    }
+                }
+            }
+            client.exit().unwrap();
+            outcomes
+        }));
+    }
+    let mut completed = 0;
+    for handle in handles {
+        completed += handle.join().unwrap().0;
+    }
+    // The gate never starves everyone: sessions retrying into a 1-slot
+    // limit still make progress.
+    assert!(completed > 0);
+
+    let Response::Ok(shown) = client.send("SHOW admission").unwrap() else {
+        panic!("SHOW admission returns OK");
+    };
+    assert!(shown.contains("peak_running=1"), "{shown}");
+    server.shutdown();
+}
+
+#[test]
 fn shutdown_disconnects_sessions_and_poisons_in_flight_queries() {
     let mut server = start_server(1);
     let addr = server.local_addr();

@@ -18,7 +18,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use accordion_common::config::{ElasticityConfig, NetworkConfig};
+use accordion_common::config::{AdmissionConfig, ElasticityConfig, NetworkConfig};
 use accordion_common::{AccordionError, Result};
 use accordion_data::page::{DataPage, Page, PageBuilder};
 use accordion_data::schema::{Schema, SchemaRef};
@@ -52,6 +52,12 @@ pub struct ExecOptions {
     /// `forced-shrink`, `auto[:deadline_ms]`), else off — what the CI
     /// elasticity matrix toggles.
     pub elasticity: ElasticityConfig,
+    /// Multi-query admission control (used by the cluster scheduler, which
+    /// reads it from the options its executor was **constructed** with —
+    /// per-query option overrides cannot change the shared limit).
+    /// Defaults to `ACCORDION_MAX_QUERIES`/`ACCORDION_ADMISSION`, else
+    /// unlimited.
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ExecOptions {
@@ -66,6 +72,7 @@ impl Default for ExecOptions {
             worker_threads,
             network: NetworkConfig::default(),
             elasticity: ElasticityConfig::from_env(),
+            admission: AdmissionConfig::from_env(),
         }
     }
 }
@@ -92,6 +99,11 @@ impl ExecOptions {
 
     pub fn elasticity(mut self, elasticity: ElasticityConfig) -> Self {
         self.elasticity = elasticity;
+        self
+    }
+
+    pub fn admission(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = admission;
         self
     }
 }

@@ -159,12 +159,19 @@ pub struct ExchangeRegistry {
 impl ExchangeRegistry {
     /// A registry with the given buffer limits and network model.
     pub fn new(network: &NetworkConfig) -> Self {
+        ExchangeRegistry::with_nic(network, NicModel::new(network))
+    }
+
+    /// A registry reusing a prebuilt network model — how the scheduler
+    /// hands each query a [`NicModel`] carved out of the shared node-level
+    /// budget (see `accordion_net::nic::NodeNic`).
+    pub fn with_nic(network: &NetworkConfig, nic: NicModel) -> Self {
         ExchangeRegistry {
             limits: ExchangeLimits {
                 initial_pages: network.initial_buffer_pages.max(1),
                 max_pages: network.max_buffer_pages,
             },
-            nic: Arc::new(NicModel::new(network)),
+            nic: Arc::new(nic),
             edges: Mutex::new(HashMap::new()),
             poison: Mutex::new(None),
         }
@@ -390,7 +397,7 @@ impl ExchangeWriter for EdgeWriter {
                 if q.is_closed() {
                     return Ok(());
                 }
-                nic.charge(piece.byte_size());
+                nic.charge(piece.byte_size(), gate);
                 q.push(piece, gate)
             },
         )

@@ -37,4 +37,4 @@ pub use buffer::{ElasticQueue, ExchangeLimits};
 pub use exchange::{
     route_page, ExchangeReader, ExchangeRegistry, ExchangeStats, ExchangeWriter, RoutePolicy,
 };
-pub use nic::{NicModel, TokenBucket};
+pub use nic::{NicModel, NodeNic, TokenBucket};
