@@ -41,8 +41,8 @@
 //! changes — so no in-flight page needs repartitioning.
 //!
 //! The race between "last old producer finishes" and "new producers join"
-//! is closed by the **writer lease**: elastic edges are registered with one
-//! extra producer slot (`register_exchanges_leased`) that the controller
+//! is closed by the **writer lease**: elastic edges are declared with one
+//! extra producer slot (`EdgeSpec::leased`) that the controller
 //! holds, so consumers cannot see the edge's end page while a retune is
 //! still possible. The lease is released once the stage's split queue is
 //! exhausted — or unconditionally when the controller unwinds, because

@@ -24,11 +24,16 @@
 //! [`TaskContext`]: accordion_exec::driver::TaskContext
 //! [`ExecOptions::elasticity`]: accordion_exec::executor::ExecOptions
 
+pub mod dist;
 pub mod elastic;
 pub mod fleet;
 pub mod matrix;
 pub mod scheduler;
 
+pub use dist::{
+    distributed_topology, plan_fingerprint, task_node, ClaimWiring, DistRole, NodeQuery,
+    RemoteSplitSource, SplitServer,
+};
 pub use elastic::{ElasticityController, StageControl, WhatIfChoice, WhatIfPredictor};
 pub use fleet::{
     AdmissionController, AdmissionPermit, AdmissionStats, FleetConfig, FleetController,

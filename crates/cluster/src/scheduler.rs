@@ -49,7 +49,7 @@ use accordion_common::config::ElasticityMode;
 use accordion_common::sync::{Mutex, Semaphore};
 use accordion_common::{AccordionError, Result};
 use accordion_exec::driver::{run_task, TaskContext};
-use accordion_exec::executor::{drain_result, register_exchanges_leased, ExecOptions, QueryResult};
+use accordion_exec::executor::{drain_result, exchange_topology, ExecOptions, QueryResult};
 use accordion_exec::metrics::QueryMetrics;
 use accordion_exec::splits::{SplitFeed, SplitQueue};
 use accordion_net::{ExchangeReader, ExchangeRegistry, ExchangeWriter, NodeNic};
@@ -63,15 +63,15 @@ use crate::elastic::{ElasticityController, StageControl};
 use crate::fleet::{AdmissionController, FleetConfig, FleetController, FleetHandle};
 
 /// Everything one task thread needs, assembled before spawning.
-struct TaskSpec {
-    stage: u32,
-    task: u32,
-    parallelism: u32,
-    pipelines: Arc<Vec<PipelineSpec>>,
-    inputs: HashMap<u32, Box<dyn ExchangeReader>>,
-    output: Box<dyn ExchangeWriter>,
+pub(crate) struct TaskSpec {
+    pub(crate) stage: u32,
+    pub(crate) task: u32,
+    pub(crate) parallelism: u32,
+    pub(crate) pipelines: Arc<Vec<PipelineSpec>>,
+    pub(crate) inputs: HashMap<u32, Box<dyn ExchangeReader>>,
+    pub(crate) output: Box<dyn ExchangeWriter>,
     /// Elastic stages claim splits from the stage's shared queue.
-    split_feed: Option<SplitFeed>,
+    pub(crate) split_feed: Option<SplitFeed>,
 }
 
 /// Per-stage wiring of one elastic Source stage, shared between the task
@@ -83,19 +83,19 @@ struct ElasticWiring {
 }
 
 /// Shared runtime of one query execution, borrowed by every task thread.
-struct QueryRt<'env> {
-    catalog: &'env Catalog,
-    page_rows: usize,
-    registry: Arc<ExchangeRegistry>,
-    gate: Arc<Semaphore>,
-    metrics: Arc<QueryMetrics>,
-    first_err: Mutex<Option<AccordionError>>,
+pub(crate) struct QueryRt<'env> {
+    pub(crate) catalog: &'env Catalog,
+    pub(crate) page_rows: usize,
+    pub(crate) registry: Arc<ExchangeRegistry>,
+    pub(crate) gate: Arc<Semaphore>,
+    pub(crate) metrics: Arc<QueryMetrics>,
+    pub(crate) first_err: Mutex<Option<AccordionError>>,
 }
 
 impl QueryRt<'_> {
     /// Runs one task to completion on the current thread, recording the
     /// first failure and poisoning the exchanges on error or panic.
-    fn run_task_spec(&self, spec: TaskSpec) {
+    pub(crate) fn run_task_spec(&self, spec: TaskSpec) {
         self.gate.acquire();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let TaskSpec {
@@ -279,22 +279,11 @@ impl QueryExecutor {
         // Admission first: under the `Queue` policy this blocks until the
         // pool has room; the permit is held for the whole execution.
         let _permit = self.admission.admit()?;
-        // Each query's exchange traffic runs through its own NIC carve-out
-        // backed by the executor-wide node bucket.
-        let registry = Arc::new(ExchangeRegistry::with_nic(
-            &opts.network,
-            self.node_nic.for_query(&opts.network),
-        ));
         let gate = self.gate.clone();
         let metrics = Arc::new(QueryMetrics::new());
         let query_id = self
             .next_query_id
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        self.active.lock().insert(query_id, registry.clone());
-        let _active_guard = ActiveGuard {
-            active: self.active.clone(),
-            id: query_id,
-        };
 
         // Elastic Source stages scan through a shared split queue so their
         // task set can change between splits; their edges get the
@@ -322,7 +311,22 @@ impl QueryExecutor {
             }
         }
         let leased: HashSet<u32> = elastic.keys().copied().collect();
-        register_exchanges_leased(&registry, tree, &leased)?;
+        // Each query's exchange traffic runs through its own NIC carve-out
+        // backed by the executor-wide node bucket. The topology is all-local
+        // here; the distributed front-end re-homes consumer slots onto
+        // worker nodes before building per-node registries.
+        let mut topology = exchange_topology(tree, &leased)?;
+        topology.query = query_id;
+        let registry = ExchangeRegistry::build(
+            &topology,
+            &opts.network,
+            self.node_nic.for_query(&opts.network),
+        )?;
+        self.active.lock().insert(query_id, registry.clone());
+        let _active_guard = ActiveGuard {
+            active: self.active.clone(),
+            id: query_id,
+        };
 
         // Claim every endpoint up front so wiring errors surface before any
         // thread spawns.
@@ -494,7 +498,7 @@ impl QueryExecutor {
     }
 }
 
-fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = panic.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = panic.downcast_ref::<String>() {

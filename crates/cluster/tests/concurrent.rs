@@ -322,11 +322,10 @@ fn bandwidth_capped_query_completes_on_a_one_slot_pool() {
             .worker_threads(1)
             .elasticity(ElasticityConfig::off())
             .network(
-                NetworkConfig {
-                    link_latency_us: 500,
-                    ..NetworkConfig::unlimited()
-                }
-                .with_nic_mbps(1),
+                NetworkConfig::builder()
+                    .link_latency_us(500)
+                    .nic_mbps(1)
+                    .build(),
             ),
     );
     let throttled = capped.execute_logical(&c, &plan, &optimizer).unwrap();
@@ -345,9 +344,10 @@ fn per_query_nic_carveout_preserves_results() {
             .worker_threads(2)
             .elasticity(ElasticityConfig::off())
             .network(
-                NetworkConfig::unlimited()
-                    .with_nic_mbps(50)
-                    .with_per_query_nic_mbps(10),
+                NetworkConfig::builder()
+                    .nic_mbps(50)
+                    .per_query_nic_mbps(10)
+                    .build(),
             ),
     );
     let reference = sorted_rows(&executor.execute_logical(&c, &plan, &optimizer).unwrap());

@@ -1,0 +1,276 @@
+//! Two-node distributed execution, in-process: each "node" is a
+//! [`NodeQuery`] fronted by its own `PageServer`, exchanging pages over
+//! real TCP. The golden suite must produce results identical to the serial
+//! reference, with at least one cross-node exchange edge in every
+//! multi-task plan — and mid-query forced grow/shrink must stay lossless
+//! when the elastic stage's tasks are spread across nodes claiming from
+//! the coordinator's split service.
+
+use std::sync::Arc;
+
+use accordion_cluster::{ClaimWiring, DistRole, NodeQuery, SplitServer};
+use accordion_common::config::{ElasticityConfig, NetworkConfig};
+use accordion_common::ElasticityMode;
+use accordion_data::schema::{Field, Schema};
+use accordion_data::types::{DataType, Value};
+use accordion_exec::{execute_tree, ExecOptions, QueryResult};
+use accordion_expr::agg::AggKind;
+use accordion_expr::scalar::Expr;
+use accordion_net::PageServer;
+use accordion_plan::fragment::StageTree;
+use accordion_plan::optimizer::{Optimizer, OptimizerConfig};
+use accordion_plan::LogicalPlanBuilder;
+use accordion_storage::catalog::Catalog;
+use accordion_storage::table::{PartitioningScheme, TableBuilder};
+
+fn i(v: i64) -> Value {
+    Value::Int64(v)
+}
+
+/// A 64-row fact table over 4 nodes × 2 splits plus a small dimension
+/// table — the same shape the scheduling and elasticity suites pin down.
+fn catalog() -> Arc<Catalog> {
+    let c = Catalog::new();
+    let schema = Schema::shared(vec![
+        Field::new("region", DataType::Utf8),
+        Field::new("qty", DataType::Int64),
+        Field::new("price", DataType::Float64),
+    ]);
+    let mut b = TableBuilder::new("sales", schema, 3);
+    for n in 0..64i64 {
+        b.push_row(vec![
+            Value::Utf8(format!("region-{}", n % 5)),
+            if n % 11 == 0 { Value::Null } else { i(n % 13) },
+            Value::Float64(0.5 * (n % 7) as f64),
+        ]);
+    }
+    b.register(&c, PartitioningScheme::new(4, 2), 0);
+
+    let dim_schema = Schema::shared(vec![
+        Field::new("name", DataType::Utf8),
+        Field::new("bonus", DataType::Int64),
+    ]);
+    let mut b = TableBuilder::new("bonuses", dim_schema, 1);
+    for (name, bonus) in [("region-0", 10i64), ("region-2", 20), ("region-4", 40)] {
+        b.push_row(vec![Value::Utf8(name.to_string()), i(bonus)]);
+    }
+    b.register(&c, PartitioningScheme::new(2, 2), 0);
+    Arc::new(c)
+}
+
+fn golden_suite(c: &Catalog) -> Vec<(&'static str, LogicalPlanBuilder)> {
+    let scan = LogicalPlanBuilder::scan(c, "sales").unwrap();
+    let filter = {
+        let b = LogicalPlanBuilder::scan(c, "sales").unwrap();
+        let pred = Expr::gt(b.col("qty").unwrap(), Expr::lit_i64(4));
+        b.filter(pred).unwrap()
+    };
+    let group_by = {
+        let b = LogicalPlanBuilder::scan(c, "sales").unwrap();
+        let aggs = vec![
+            b.agg(AggKind::Count, "qty", "cnt").unwrap(),
+            b.agg(AggKind::Sum, "qty", "total").unwrap(),
+            b.agg(AggKind::Avg, "price", "mean").unwrap(),
+        ];
+        b.aggregate(&["region"], aggs).unwrap()
+    };
+    let top_n = {
+        let b = LogicalPlanBuilder::scan(c, "sales").unwrap();
+        b.top_n(&[("qty", true), ("region", false), ("price", false)], 10)
+            .unwrap()
+    };
+    let join = {
+        let sales = LogicalPlanBuilder::scan(c, "sales").unwrap();
+        let bonuses = LogicalPlanBuilder::scan(c, "bonuses").unwrap();
+        sales
+            .join(bonuses, &[("region", "name")])
+            .unwrap()
+            .select(&["region", "qty", "bonus"])
+            .unwrap()
+    };
+    vec![
+        ("scan", scan),
+        ("filter", filter),
+        ("group_by", group_by),
+        ("top_n", top_n),
+        ("join", join),
+    ]
+}
+
+fn sorted_rows(result: &QueryResult) -> Vec<Vec<Value>> {
+    let mut rows = result.rows();
+    rows.sort_by(|a, b| {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| *o != std::cmp::Ordering::Equal)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    rows
+}
+
+/// Runs `tree` on a two-node in-process fleet and returns the
+/// coordinator's result plus the number of cross-node consumer slots.
+fn run_two_nodes(
+    catalog: &Arc<Catalog>,
+    tree: &Arc<StageTree>,
+    opts: &ExecOptions,
+    query: u64,
+) -> (QueryResult, usize) {
+    let ps0 = PageServer::bind("127.0.0.1:0").unwrap();
+    let ps1 = PageServer::bind("127.0.0.1:0").unwrap();
+    let peers = vec![ps0.local_addr(), ps1.local_addr()];
+    let role = |node| DistRole {
+        node,
+        nodes: 2,
+        peers: peers.clone(),
+    };
+    // Elasticity (when enabled) claims through the coordinator's service,
+    // exactly as separate processes would.
+    let claim = SplitServer::bind("127.0.0.1:0").unwrap();
+    let nq0 = NodeQuery::wire(
+        catalog.clone(),
+        tree.clone(),
+        opts,
+        role(0),
+        query,
+        ClaimWiring::Serve(&claim),
+    )
+    .unwrap();
+    let nq1 = NodeQuery::wire(
+        catalog.clone(),
+        tree.clone(),
+        opts,
+        role(1),
+        query,
+        ClaimWiring::Connect(claim.local_addr()),
+    )
+    .unwrap();
+    ps0.register(query, nq0.registry().clone());
+    ps1.register(query, nq1.registry().clone());
+    let remote_slots = nq0.remote_slots() + nq1.remote_slots();
+    let worker = std::thread::spawn(move || nq1.run());
+    let result = nq0.run().unwrap().expect("coordinator returns the result");
+    assert!(worker.join().unwrap().unwrap().is_none());
+    ps0.unregister(query);
+    ps1.unregister(query);
+    claim.shutdown();
+    ps0.shutdown();
+    ps1.shutdown();
+    (result, remote_slots)
+}
+
+fn opts(network: NetworkConfig) -> ExecOptions {
+    ExecOptions::with_page_rows(3)
+        .worker_threads(2)
+        .network(network)
+}
+
+#[test]
+fn golden_suite_matches_serial_across_two_nodes() {
+    let c = catalog();
+    let serial_opts = opts(NetworkConfig::builder().unbounded_buffers().build());
+    let mut query = 100;
+    for (name, builder) in golden_suite(&c) {
+        let serial_opt = Optimizer::new(OptimizerConfig::default().with_parallelism(1));
+        let tree =
+            StageTree::build(serial_opt.optimize(&builder.clone().build()).unwrap()).unwrap();
+        let reference = sorted_rows(&execute_tree(&c, &tree, &serial_opts).unwrap());
+        assert!(!reference.is_empty(), "{name}: empty reference result");
+
+        for dop in [2u32, 4] {
+            let optimizer = Optimizer::new(OptimizerConfig::default().with_parallelism(dop));
+            let tree = Arc::new(
+                StageTree::build(optimizer.optimize(&builder.clone().build()).unwrap()).unwrap(),
+            );
+            query += 1;
+            let (result, remote_slots) = run_two_nodes(&c, &tree, &serial_opts, query);
+            assert_eq!(
+                sorted_rows(&result),
+                reference,
+                "{name} diverged across nodes at dop={dop}"
+            );
+            assert!(
+                remote_slots >= 1,
+                "{name} at dop={dop} never crossed a node boundary"
+            );
+        }
+    }
+}
+
+#[test]
+fn tight_buffers_survive_the_node_boundary() {
+    // Capacity-one exchange buffers across TCP: the credit window collapses
+    // to one in-flight frame per consumer, forcing real backpressure on
+    // every cross-node edge.
+    let c = catalog();
+    let tight = opts(NetworkConfig::builder().fixed_buffers(1).build());
+    let optimizer = Optimizer::new(OptimizerConfig::default().with_parallelism(3));
+    for (query, (name, builder)) in golden_suite(&c).into_iter().enumerate() {
+        let tree = Arc::new(
+            StageTree::build(optimizer.optimize(&builder.clone().build()).unwrap()).unwrap(),
+        );
+        let serial = sorted_rows(&execute_tree(&c, &tree, &tight).unwrap());
+        let (result, _) = run_two_nodes(&c, &tree, &tight, 200 + query as u64);
+        assert_eq!(
+            sorted_rows(&result),
+            serial,
+            "{name} diverged under backpressure"
+        );
+    }
+}
+
+#[test]
+fn forced_grow_and_shrink_stay_lossless_across_nodes() {
+    let c = catalog();
+    let group_by = {
+        let b = LogicalPlanBuilder::scan(&*c, "sales").unwrap();
+        let aggs = vec![
+            b.agg(AggKind::Count, "qty", "cnt").unwrap(),
+            b.agg(AggKind::Sum, "qty", "total").unwrap(),
+        ];
+        b.aggregate(&["region"], aggs).unwrap().build()
+    };
+    let serial_opt = Optimizer::new(OptimizerConfig::default().with_parallelism(1));
+    let serial_tree = StageTree::build(serial_opt.optimize(&group_by).unwrap()).unwrap();
+    let plain = opts(NetworkConfig::builder().unbounded_buffers().build());
+    let reference = sorted_rows(&execute_tree(&c, &serial_tree, &plain).unwrap());
+
+    for (query, mode) in [
+        (301u64, ElasticityMode::ForcedGrow),
+        (302, ElasticityMode::ForcedShrink),
+    ] {
+        // Grow starts at DOP 2 (one task per node); shrink starts at 4 so
+        // retirement hits tasks on both nodes.
+        let start_dop = match mode {
+            ElasticityMode::ForcedShrink => 4,
+            _ => 2,
+        };
+        let optimizer = Optimizer::new(OptimizerConfig::default().with_parallelism(start_dop));
+        let tree = Arc::new(StageTree::build(optimizer.optimize(&group_by).unwrap()).unwrap());
+        let elastic_opts = ExecOptions {
+            elasticity: ElasticityConfig {
+                mode,
+                ..ElasticityConfig::default()
+            },
+            ..plain.clone()
+        };
+        let (result, remote_slots) = run_two_nodes(&c, &tree, &elastic_opts, query);
+        assert_eq!(
+            sorted_rows(&result),
+            reference,
+            "{mode:?} lost or duplicated rows across nodes"
+        );
+        assert!(remote_slots >= 1, "{mode:?} plan never crossed nodes");
+        let grew = matches!(mode, ElasticityMode::ForcedGrow);
+        assert!(
+            result.stats().retunes.iter().any(|r| if grew {
+                r.to_dop > r.from_dop
+            } else {
+                r.to_dop < r.from_dop
+            }),
+            "{mode:?} never retuned: {:?}",
+            result.stats().retunes
+        );
+    }
+}

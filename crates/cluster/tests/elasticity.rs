@@ -131,7 +131,7 @@ fn sorted_rows(result: &QueryResult) -> Vec<Vec<Value>> {
 fn opts(worker_threads: usize, elasticity: ElasticityConfig) -> ExecOptions {
     ExecOptions::with_page_rows(3)
         .worker_threads(worker_threads)
-        .network(NetworkConfig::unlimited().with_fixed_buffers(2))
+        .network(NetworkConfig::builder().fixed_buffers(2).build())
         .elasticity(elasticity)
 }
 

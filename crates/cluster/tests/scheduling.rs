@@ -122,9 +122,9 @@ fn sorted_rows(result: &QueryResult) -> Vec<Vec<Value>> {
 
 fn opts(worker_threads: usize, capacity_one: bool) -> ExecOptions {
     let network = if capacity_one {
-        NetworkConfig::unlimited().with_fixed_buffers(1)
+        NetworkConfig::builder().fixed_buffers(1).build()
     } else {
-        NetworkConfig::unlimited().with_unbounded_buffers()
+        NetworkConfig::builder().unbounded_buffers().build()
     };
     ExecOptions::with_page_rows(3)
         .worker_threads(worker_threads)
@@ -278,7 +278,7 @@ fn elastic_buffers_start_at_one_page_and_grow_on_demand() {
     let executor = QueryExecutor::new(
         ExecOptions::with_page_rows(1)
             .worker_threads(2)
-            .network(NetworkConfig::unlimited().with_fixed_buffers(1)),
+            .network(NetworkConfig::builder().fixed_buffers(1).build()),
     );
     let fixed = executor.execute_logical(&c, &plan, &optimizer).unwrap();
     assert_eq!(fixed.stats().exchange.grow_events, 0);
@@ -318,7 +318,7 @@ fn nic_bandwidth_cap_still_produces_correct_results() {
     let throttled = QueryExecutor::new(
         ExecOptions::with_page_rows(3)
             .worker_threads(2)
-            .network(NetworkConfig::unlimited().with_nic_mbps(50)),
+            .network(NetworkConfig::builder().nic_mbps(50).build()),
     );
     let free = QueryExecutor::new(opts(2, false));
     let a = throttled.execute_logical(&c, &plan, &optimizer).unwrap();

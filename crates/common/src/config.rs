@@ -123,6 +123,16 @@ pub struct NetworkConfig {
     /// Upper bound on elastic buffer capacity, in pages (`None` = buffers
     /// may grow without limit under consumer-side demand).
     pub max_buffer_pages: Option<usize>,
+    /// TCP connect (and handshake) timeout for real network transports —
+    /// the page exchange between worker processes and the query-server
+    /// client — in milliseconds.
+    pub connect_timeout_ms: u64,
+    /// Read timeout for real network transports, milliseconds. `None`
+    /// blocks indefinitely — the right default for the data plane, where an
+    /// idle stream just means upstream has nothing to send yet; clients and
+    /// control channels set a bound so a dead peer fails instead of
+    /// hanging.
+    pub read_timeout_ms: Option<u64>,
 }
 
 impl Default for NetworkConfig {
@@ -134,6 +144,8 @@ impl Default for NetworkConfig {
             max_response_bytes: 4 << 20,
             initial_buffer_pages: 1,
             max_buffer_pages: Some(256),
+            connect_timeout_ms: 5_000,
+            read_timeout_ms: None,
         }
     }
 }
@@ -144,32 +156,91 @@ impl NetworkConfig {
         NetworkConfig::default()
     }
 
+    /// Starts a [`NetworkConfigBuilder`] from the default (unlimited)
+    /// configuration — the one way to shape the network: NIC caps, buffer
+    /// limits and transport timeouts all hang off the builder.
+    pub fn builder() -> NetworkConfigBuilder {
+        NetworkConfigBuilder {
+            config: NetworkConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`NetworkConfig`]: replaces the former sprawl of
+/// `with_*` constructors with one chainable surface.
+///
+/// ```
+/// use accordion_common::config::NetworkConfig;
+/// let net = NetworkConfig::builder()
+///     .nic_mbps(50)
+///     .per_query_nic_mbps(10)
+///     .fixed_buffers(2)
+///     .connect_timeout_ms(500)
+///     .build();
+/// assert_eq!(net.nic_bandwidth_bytes_per_sec, Some(50 * 1_000_000 / 8));
+/// assert_eq!(net.max_buffer_pages, Some(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetworkConfigBuilder {
+    config: NetworkConfig,
+}
+
+impl NetworkConfigBuilder {
     /// Cap each node's NIC at `mbps` megabits/second.
-    pub fn with_nic_mbps(mut self, mbps: u64) -> Self {
-        self.nic_bandwidth_bytes_per_sec = Some(mbps * 1_000_000 / 8);
+    pub fn nic_mbps(mut self, mbps: u64) -> Self {
+        self.config.nic_bandwidth_bytes_per_sec = Some(mbps * 1_000_000 / 8);
         self
     }
 
     /// Cap each **query's** share of the node NIC at `mbps`
-    /// megabits/second (see `nic_per_query_bytes_per_sec`).
-    pub fn with_per_query_nic_mbps(mut self, mbps: u64) -> Self {
-        self.nic_per_query_bytes_per_sec = Some(mbps * 1_000_000 / 8);
+    /// megabits/second (see
+    /// [`NetworkConfig::nic_per_query_bytes_per_sec`]).
+    pub fn per_query_nic_mbps(mut self, mbps: u64) -> Self {
+        self.config.nic_per_query_bytes_per_sec = Some(mbps * 1_000_000 / 8);
+        self
+    }
+
+    /// One-way latency added to each page transfer, microseconds.
+    pub fn link_latency_us(mut self, us: u64) -> Self {
+        self.config.link_latency_us = us;
+        self
+    }
+
+    /// Shape the elastic buffers: start at `initial` pages, grow up to
+    /// `max` (`None` = unbounded).
+    pub fn buffer_pages(mut self, initial: usize, max: Option<usize>) -> Self {
+        assert!(initial > 0, "buffer capacity must be positive");
+        self.config.initial_buffer_pages = initial;
+        self.config.max_buffer_pages = max;
         self
     }
 
     /// Fix every exchange buffer at exactly `pages` (no elastic growth).
-    pub fn with_fixed_buffers(mut self, pages: usize) -> Self {
-        assert!(pages > 0, "buffer capacity must be positive");
-        self.initial_buffer_pages = pages;
-        self.max_buffer_pages = Some(pages);
-        self
+    pub fn fixed_buffers(self, pages: usize) -> Self {
+        self.buffer_pages(pages, Some(pages))
     }
 
     /// Let exchange buffers grow without bound (still starting at
     /// `initial_buffer_pages`).
-    pub fn with_unbounded_buffers(mut self) -> Self {
-        self.max_buffer_pages = None;
+    pub fn unbounded_buffers(mut self) -> Self {
+        self.config.max_buffer_pages = None;
         self
+    }
+
+    /// TCP connect timeout for real transports, milliseconds.
+    pub fn connect_timeout_ms(mut self, ms: u64) -> Self {
+        self.config.connect_timeout_ms = ms.max(1);
+        self
+    }
+
+    /// Read timeout for real transports (`None` = block indefinitely).
+    pub fn read_timeout_ms(mut self, ms: Option<u64>) -> Self {
+        self.config.read_timeout_ms = ms;
+        self
+    }
+
+    pub fn build(self) -> NetworkConfig {
+        self.config
     }
 }
 
@@ -491,17 +562,35 @@ mod tests {
 
     #[test]
     fn nic_mbps_conversion() {
-        let n = NetworkConfig::unlimited().with_nic_mbps(80);
+        let n = NetworkConfig::builder().nic_mbps(80).build();
         assert_eq!(n.nic_bandwidth_bytes_per_sec, Some(10_000_000));
     }
 
     #[test]
-    fn buffer_shaping_helpers() {
-        let fixed = NetworkConfig::unlimited().with_fixed_buffers(1);
+    fn buffer_shaping_builder() {
+        let fixed = NetworkConfig::builder().fixed_buffers(1).build();
         assert_eq!(fixed.initial_buffer_pages, 1);
         assert_eq!(fixed.max_buffer_pages, Some(1));
-        let open = NetworkConfig::unlimited().with_unbounded_buffers();
+        let open = NetworkConfig::builder().unbounded_buffers().build();
         assert_eq!(open.max_buffer_pages, None);
+        let shaped = NetworkConfig::builder().buffer_pages(2, Some(16)).build();
+        assert_eq!(shaped.initial_buffer_pages, 2);
+        assert_eq!(shaped.max_buffer_pages, Some(16));
+    }
+
+    #[test]
+    fn transport_timeouts_default_and_build() {
+        let d = NetworkConfig::default();
+        assert_eq!(d.connect_timeout_ms, 5_000);
+        assert_eq!(d.read_timeout_ms, None, "data plane blocks by default");
+        let n = NetworkConfig::builder()
+            .connect_timeout_ms(250)
+            .read_timeout_ms(Some(1_000))
+            .link_latency_us(50)
+            .build();
+        assert_eq!(n.connect_timeout_ms, 250);
+        assert_eq!(n.read_timeout_ms, Some(1_000));
+        assert_eq!(n.link_latency_us, 50);
     }
 
     #[test]
@@ -627,9 +716,10 @@ mod tests {
 
     #[test]
     fn per_query_nic_conversion() {
-        let n = NetworkConfig::unlimited()
-            .with_nic_mbps(80)
-            .with_per_query_nic_mbps(8);
+        let n = NetworkConfig::builder()
+            .nic_mbps(80)
+            .per_query_nic_mbps(8)
+            .build();
         assert_eq!(n.nic_bandwidth_bytes_per_sec, Some(10_000_000));
         assert_eq!(n.nic_per_query_bytes_per_sec, Some(1_000_000));
     }

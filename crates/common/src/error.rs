@@ -29,6 +29,10 @@ pub enum AccordionError {
     Io(String),
     /// Scheduling failure (no nodes, unknown stage...).
     Schedule(String),
+    /// Wire-codec failure: a page frame was truncated, corrupted, version
+    /// mismatched, or carried an unexpected schema hash. Never a panic —
+    /// every malformed byte stream decodes to this.
+    Wire(String),
     /// A DOP tuning request was rejected by the request filter.
     TuningRejected(TuningRejection),
     /// Referenced query does not exist (or was garbage collected).
@@ -102,6 +106,7 @@ impl fmt::Display for AccordionError {
             AccordionError::Storage(m) => write!(f, "storage error: {m}"),
             AccordionError::Io(m) => write!(f, "io error: {m}"),
             AccordionError::Schedule(m) => write!(f, "scheduling error: {m}"),
+            AccordionError::Wire(m) => write!(f, "wire error: {m}"),
             AccordionError::TuningRejected(r) => write!(f, "tuning request rejected: {r}"),
             AccordionError::UnknownQuery(q) => write!(f, "unknown query {q}"),
             AccordionError::UnknownStage(q, s) => write!(f, "unknown stage {s} of {q}"),

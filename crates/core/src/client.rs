@@ -3,13 +3,28 @@
 //! [`Client::connect`] reads the greeting; [`Client::send`] ships one
 //! statement and parses one response frame; [`Client::query`] is the
 //! SELECT-shaped convenience that insists on a result set.
+//!
+//! Connection establishment is bounded: each attempt uses the
+//! [`NetworkConfig`] connect timeout, failed attempts retry with a short
+//! exponential backoff (a server still binding its listener is given a
+//! moment), and the greeting read is capped by the same timeout — a dead
+//! or wedged server yields an error, never a hang. After the greeting the
+//! read timeout reverts to `read_timeout_ms` (`None` by default: a running
+//! query may legitimately stay silent for a long time).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
+use accordion_common::config::NetworkConfig;
 use accordion_common::{AccordionError, Result};
 
 use crate::protocol::{decode_line, parse_frame, Frame};
+
+/// Connection attempts before giving up, with backoff sleeps between them.
+const CONNECT_ATTEMPTS: u32 = 4;
+/// First backoff sleep; doubles per failed attempt (25 → 50 → 100 ms).
+const BACKOFF_START_MS: u64 = 25;
 
 /// A decoded result set — all values as their CSV text form.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,10 +52,22 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects and consumes the greeting.
+    /// Connects with the default [`NetworkConfig`] timeouts and consumes
+    /// the greeting.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
-        let stream = TcpStream::connect(addr)
-            .map_err(|e| AccordionError::Io(format!("connect failed: {e}")))?;
+        Client::connect_with(addr, &NetworkConfig::default())
+    }
+
+    /// Connects with explicit transport timeouts: per-attempt connect
+    /// timeout and post-greeting read timeout both come from `network`.
+    pub fn connect_with(addr: impl ToSocketAddrs, network: &NetworkConfig) -> Result<Client> {
+        let stream = connect_with_backoff(addr, network)?;
+        // Cap the greeting read: a server that accepts but never speaks
+        // (wedged, or not actually our protocol) must fail, not hang.
+        let greeting_timeout = Duration::from_millis(network.connect_timeout_ms.max(1));
+        stream
+            .set_read_timeout(Some(greeting_timeout))
+            .map_err(|e| AccordionError::Io(format!("set timeout failed: {e}")))?;
         let writer = stream
             .try_clone()
             .map_err(|e| AccordionError::Io(format!("clone failed: {e}")))?;
@@ -57,6 +84,16 @@ impl Client {
                 )))
             }
         }
+        // Statement responses run on the configured read timeout (`None`
+        // by default — long queries are silent, not dead).
+        let read_timeout = network
+            .read_timeout_ms
+            .map(|ms| Duration::from_millis(ms.max(1)));
+        client
+            .reader
+            .get_ref()
+            .set_read_timeout(read_timeout)
+            .map_err(|e| AccordionError::Io(format!("set timeout failed: {e}")))?;
         Ok(client)
     }
 
@@ -143,10 +180,16 @@ impl Client {
 
     fn read_line(&mut self) -> Result<String> {
         let mut line = String::new();
-        let n = self
-            .reader
-            .read_line(&mut line)
-            .map_err(|e| AccordionError::Io(format!("read failed: {e}")))?;
+        let n = self.reader.read_line(&mut line).map_err(|e| {
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) {
+                AccordionError::Io("server did not respond within the read timeout".to_string())
+            } else {
+                AccordionError::Io(format!("read failed: {e}"))
+            }
+        })?;
         if n == 0 {
             return Err(AccordionError::Io(
                 "connection closed by server".to_string(),
@@ -154,4 +197,36 @@ impl Client {
         }
         Ok(line)
     }
+}
+
+/// Resolves `addr` and tries each resolved address per attempt, sleeping
+/// with exponential backoff between failed attempts. Every attempt is
+/// bounded by the connect timeout, so the total wait is bounded too.
+fn connect_with_backoff(addr: impl ToSocketAddrs, network: &NetworkConfig) -> Result<TcpStream> {
+    let timeout = Duration::from_millis(network.connect_timeout_ms.max(1));
+    let addrs: Vec<std::net::SocketAddr> = addr
+        .to_socket_addrs()
+        .map_err(|e| AccordionError::Io(format!("address resolution failed: {e}")))?
+        .collect();
+    if addrs.is_empty() {
+        return Err(AccordionError::Io("address resolved to nothing".into()));
+    }
+    let mut backoff = Duration::from_millis(BACKOFF_START_MS);
+    let mut last_err = None;
+    for attempt in 0..CONNECT_ATTEMPTS {
+        if attempt > 0 {
+            std::thread::sleep(backoff);
+            backoff *= 2;
+        }
+        for sock in &addrs {
+            match TcpStream::connect_timeout(sock, timeout) {
+                Ok(stream) => return Ok(stream),
+                Err(e) => last_err = Some(e),
+            }
+        }
+    }
+    Err(AccordionError::Io(format!(
+        "connect failed after {CONNECT_ATTEMPTS} attempts: {}",
+        last_err.expect("at least one attempt ran")
+    )))
 }

@@ -12,9 +12,13 @@
 //!   graceful shutdown that poisons in-flight queries.
 //! - [`client`] — a small blocking [`Client`] for tests, the CLI, and
 //!   examples.
+//! - [`dist`] — process-per-node execution: the `worker` control protocol
+//!   (WIRE/GO/JOIN) and the [`Fleet`] coordinator that drives a set of
+//!   worker processes through one distributed query at a time.
 //!
-//! The `accordion-core` binary wraps this into `server` and `client`
-//! subcommands (TPC-H data baked in at a chosen scale factor).
+//! The `accordion-core` binary wraps this into `server`, `client`,
+//! `worker`, and `coord` subcommands (TPC-H data baked in at a chosen
+//! scale factor).
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -39,10 +43,12 @@
 //! [`QueryExecutor`]: accordion_cluster::QueryExecutor
 
 pub mod client;
+pub mod dist;
 pub mod protocol;
 pub mod server;
 pub mod session;
 
 pub use client::{Client, Response, ResultSet};
+pub use dist::{DistributedRun, Fleet, Worker};
 pub use server::{QueryServer, ServerConfig};
 pub use session::SessionVars;

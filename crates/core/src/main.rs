@@ -13,6 +13,20 @@
 //!     Run statements (from -e flags and .sql files, in order) against a
 //!     server, print results, and — with --expect-rows — fail unless the
 //!     last result set has exactly N rows.
+//!
+//! accordion-core worker [--listen 127.0.0.1:0] [--sf 0.02] [--workers N]
+//!     One node of a process-per-node fleet: generate the TPC-H catalog,
+//!     start the page server and the WIRE/GO/JOIN control listener, and
+//!     run until killed. Prints
+//!     `accordion-core worker listening on <ctrl> pages <pages>` when
+//!     ready.
+//!
+//! accordion-core coord --worker ADDR [--worker ADDR]... [--sf 0.02]
+//!                      [--workers N] [--dop N] [--elasticity MODE]
+//!                      [--expect-rows N] [-e SQL]... [FILE.sql]...
+//!     Drive a distributed query across this process (node 0) and every
+//!     worker, printing each result set as CSV. All processes must use the
+//!     same --sf.
 //! ```
 
 use std::process::ExitCode;
@@ -20,6 +34,7 @@ use std::sync::Arc;
 
 use accordion_cluster::QueryExecutor;
 use accordion_common::config::{AdmissionConfig, AdmissionPolicy, ElasticityConfig};
+use accordion_core::protocol::{encode_header, encode_row};
 use accordion_core::{Client, QueryServer, Response, ServerConfig};
 use accordion_exec::ExecOptions;
 use accordion_sql::parse_statements;
@@ -30,8 +45,13 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("server") => run_server(&args[1..]),
         Some("client") => run_client(&args[1..]),
+        Some("worker") => run_worker(&args[1..]),
+        Some("coord") => run_coord(&args[1..]),
         _ => {
-            eprintln!("usage: accordion-core <server|client> [options]  (see --help in source)");
+            eprintln!(
+                "usage: accordion-core <server|client|worker|coord> [options]  \
+                 (see --help in source)"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -178,6 +198,142 @@ fn run_client(args: &[String]) -> Result<(), String> {
         }
     }
     let _ = client.exit();
+    if let Some(expected) = expect_rows {
+        match last_rows {
+            Some(actual) if actual == expected => {}
+            Some(actual) => {
+                return Err(format!(
+                    "row-count check failed: expected {expected}, got {actual}"
+                ))
+            }
+            None => return Err("row-count check failed: no result set".to_string()),
+        }
+    }
+    Ok(())
+}
+
+fn run_worker(args: &[String]) -> Result<(), String> {
+    let listen = flag_value(args, "--listen")?.unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let sf: f64 = parse_or(flag_value(args, "--sf")?, 0.02, "--sf")?;
+    let workers: usize = parse_or(flag_value(args, "--workers")?, 4, "--workers")?;
+
+    eprintln!("generating TPC-H data at sf {sf} ...");
+    let data = generate(&TpchOptions {
+        scale_factor: sf,
+        ..TpchOptions::default()
+    });
+    let exec = ExecOptions {
+        worker_threads: workers,
+        ..ExecOptions::default()
+    };
+    let worker = accordion_core::Worker::start(&listen, Arc::new(data.catalog), exec)
+        .map_err(|e| e.to_string())?;
+    // Harnesses wait for this exact line on stdout.
+    println!(
+        "accordion-core worker listening on {} pages {}",
+        worker.ctrl_addr(),
+        worker.page_addr()
+    );
+    loop {
+        std::thread::park();
+    }
+}
+
+fn run_coord(args: &[String]) -> Result<(), String> {
+    let mut worker_addrs = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--worker" {
+            worker_addrs.push(it.next().ok_or("--worker needs an address")?.clone());
+        }
+    }
+    if worker_addrs.is_empty() {
+        return Err("coord needs at least one --worker ADDR".to_string());
+    }
+    let sf: f64 = parse_or(flag_value(args, "--sf")?, 0.02, "--sf")?;
+    let workers: usize = parse_or(flag_value(args, "--workers")?, 4, "--workers")?;
+    let dop: u32 = parse_or(flag_value(args, "--dop")?, 4, "--dop")?;
+    let elasticity = flag_value(args, "--elasticity")?.unwrap_or_else(|| "off".to_string());
+    let expect_rows: Option<u64> = match flag_value(args, "--expect-rows")? {
+        None => None,
+        Some(s) => Some(
+            s.parse()
+                .map_err(|_| format!("invalid --expect-rows: '{s}'"))?,
+        ),
+    };
+
+    // Statements: every `-e SQL` plus positional .sql files, in order —
+    // the same surface as the client subcommand.
+    let mut statements: Vec<String> = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-e" => {
+                let sql = it.next().ok_or("-e needs a SQL string")?;
+                collect_statements(sql, &mut statements)?;
+            }
+            "--worker" | "--sf" | "--workers" | "--dop" | "--elasticity" | "--expect-rows" => {
+                it.next();
+            }
+            path => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                collect_statements(&text, &mut statements)?;
+            }
+        }
+    }
+    if statements.is_empty() {
+        return Err("no statements: pass -e SQL or a .sql file".to_string());
+    }
+
+    eprintln!("generating TPC-H data at sf {sf} ...");
+    let data = generate(&TpchOptions {
+        scale_factor: sf,
+        ..TpchOptions::default()
+    });
+    let exec = ExecOptions {
+        worker_threads: workers,
+        ..ExecOptions::default()
+    };
+    let mut fleet = accordion_core::Fleet::connect(
+        &worker_addrs,
+        Arc::new(data.catalog),
+        exec,
+        &elasticity,
+        dop,
+    )
+    .map_err(|e| e.to_string())?;
+    eprintln!("fleet of {} nodes ready", fleet.nodes());
+
+    let mut last_rows: Option<u64> = None;
+    let mut failure = None;
+    for sql in &statements {
+        match fleet.run_sql(sql) {
+            Ok(run) => {
+                println!("{}", encode_header(&run.result.schema));
+                let mut nrows: u64 = 0;
+                for page in &run.result.pages {
+                    for row in page.rows() {
+                        println!("{}", encode_row(&row));
+                        nrows += 1;
+                    }
+                }
+                println!(
+                    "({nrows} rows, {} ms, {} remote slots)",
+                    run.elapsed_ms, run.remote_slots
+                );
+                last_rows = Some(nrows);
+            }
+            Err(e) => {
+                failure = Some(format!("distributed query failed: {e}"));
+                break;
+            }
+        }
+    }
+    fleet.shutdown();
+    if let Some(f) = failure {
+        return Err(f);
+    }
     if let Some(expected) = expect_rows {
         match last_rows {
             Some(actual) if actual == expected => {}

@@ -1,0 +1,275 @@
+//! Process-per-node distributed execution: real `accordion-core worker`
+//! processes driven by an in-test [`Fleet`] coordinator. Every query's
+//! result must be row-identical (modulo float summation order) to the
+//! serial in-process executor over the same generated data, with at least
+//! one cross-process exchange edge — and mid-query forced grow/shrink must
+//! stay lossless across process boundaries.
+
+use std::io::BufRead;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+
+use accordion_core::dist::plan_tree;
+use accordion_core::Fleet;
+use accordion_data::types::Value;
+use accordion_exec::{execute_tree, ExecOptions};
+use accordion_tpch::gen::{generate, TpchOptions};
+
+const SF: &str = "0.02";
+
+const Q1_SQL: &str = "\
+SELECT l_returnflag, l_linestatus, sum(l_quantity) AS sum_qty, \
+       sum(l_extendedprice) AS sum_base_price, \
+       sum(l_extendedprice * (1.0 - l_discount)) AS sum_disc_price, \
+       avg(l_discount) AS avg_disc, count(*) AS count_order \
+FROM lineitem \
+WHERE l_shipdate <= DATE '1998-09-02' \
+GROUP BY l_returnflag, l_linestatus";
+
+const Q3_SQL: &str = "\
+SELECT l_orderkey, o_orderdate, \
+       sum(l_extendedprice * (1.0 - l_discount)) AS revenue \
+FROM lineitem \
+  INNER JOIN orders ON l_orderkey = o_orderkey \
+  INNER JOIN customer ON o_custkey = c_custkey \
+WHERE l_shipdate > DATE '1995-03-15' \
+  AND o_orderdate < DATE '1995-03-15' \
+  AND c_mktsegment = 'BUILDING' \
+GROUP BY l_orderkey, o_orderdate \
+ORDER BY revenue DESC, l_orderkey \
+LIMIT 10";
+
+const Q6_SQL: &str = "\
+SELECT sum(l_extendedprice * l_discount) AS revenue \
+FROM lineitem \
+WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' \
+  AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24.0";
+
+/// A spawned worker process, killed on drop so a failing test cannot leak
+/// children.
+struct WorkerProc {
+    child: Child,
+    ctrl: String,
+}
+
+impl Drop for WorkerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_worker() -> WorkerProc {
+    let child = Command::new(env!("CARGO_BIN_EXE_accordion-core"))
+        .args([
+            "worker",
+            "--listen",
+            "127.0.0.1:0",
+            "--sf",
+            SF,
+            "--workers",
+            "2",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn accordion-core worker");
+    // Wrap immediately: any panic below (including the announce loop) now
+    // reaps the child through Drop instead of leaking it.
+    let mut proc = WorkerProc {
+        child,
+        ctrl: String::new(),
+    };
+    let stdout = proc.child.stdout.take().expect("piped stdout");
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).expect("worker stdout") == 0 {
+            panic!("worker process exited before announcing its address");
+        }
+        if let Some(rest) = line
+            .trim()
+            .strip_prefix("accordion-core worker listening on ")
+        {
+            proc.ctrl = rest
+                .split_whitespace()
+                .next()
+                .expect("control address")
+                .to_string();
+            return proc;
+        }
+    }
+}
+
+/// Float aggregates are summed in exchange-arrival order; distributed runs
+/// permute it, so compare with relative tolerance.
+fn values_close(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float64(x), Value::Float64(y)) => {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() <= 1e-9 * scale
+        }
+        _ => a == b,
+    }
+}
+
+fn assert_rows_close(name: &str, left: &[Vec<Value>], right: &[Vec<Value>]) {
+    assert_eq!(left.len(), right.len(), "{name}: row counts diverged");
+    for (i, (l, r)) in left.iter().zip(right).enumerate() {
+        assert_eq!(l.len(), r.len(), "{name}: row {i} widths diverged");
+        for (x, y) in l.iter().zip(r) {
+            assert!(
+                values_close(x, y),
+                "{name}: row {i} diverged: {l:?} vs {r:?}"
+            );
+        }
+    }
+}
+
+fn sorted(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+    rows.sort_by(|a, b| {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| *o != std::cmp::Ordering::Equal)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    rows
+}
+
+fn tpch_catalog() -> Arc<accordion_storage::catalog::Catalog> {
+    let data = generate(&TpchOptions {
+        scale_factor: SF.parse().unwrap(),
+        ..TpchOptions::default()
+    });
+    Arc::new(data.catalog)
+}
+
+#[test]
+fn fleet_of_three_processes_matches_in_process_execution() {
+    let w1 = spawn_worker();
+    let w2 = spawn_worker();
+    let catalog = tpch_catalog();
+    let exec = ExecOptions {
+        worker_threads: 2,
+        ..ExecOptions::default()
+    };
+    let mut fleet = Fleet::connect(
+        &[w1.ctrl.clone(), w2.ctrl.clone()],
+        catalog.clone(),
+        exec.clone(),
+        "off",
+        4,
+    )
+    .expect("fleet connects to both workers");
+    assert_eq!(fleet.nodes(), 3);
+
+    let cases = [
+        (
+            "group_count",
+            "SELECT l_returnflag, count(*) AS n FROM lineitem GROUP BY l_returnflag",
+        ),
+        (
+            "filter_project",
+            "SELECT l_orderkey, l_quantity FROM lineitem WHERE l_quantity < 3.0",
+        ),
+        (
+            "top_orders",
+            "SELECT * FROM orders ORDER BY o_totalprice DESC, o_orderkey LIMIT 20",
+        ),
+        ("q1", Q1_SQL),
+        ("q3", Q3_SQL),
+        ("q6", Q6_SQL),
+    ];
+    for (name, sql) in cases {
+        // Serial in-process reference over the identical catalog.
+        let serial_tree = plan_tree(&catalog, sql, 1).expect(name);
+        let reference = execute_tree(&catalog, &serial_tree, &exec).expect(name);
+
+        let run = fleet
+            .run_sql(sql)
+            .unwrap_or_else(|e| panic!("{name} failed distributed: {e}"));
+        assert_rows_close(name, &sorted(run.result.rows()), &sorted(reference.rows()));
+        assert!(run.result.row_count() > 0, "{name}: empty result");
+        assert!(
+            run.remote_slots >= 1,
+            "{name}: no cross-process exchange edge"
+        );
+    }
+    fleet.shutdown();
+}
+
+#[test]
+fn forced_retunes_stay_lossless_across_processes() {
+    let w1 = spawn_worker();
+    let catalog = tpch_catalog();
+    let exec = ExecOptions {
+        worker_threads: 2,
+        ..ExecOptions::default()
+    };
+    let sql = "SELECT l_returnflag, count(*) AS n, sum(l_quantity) AS q \
+               FROM lineitem GROUP BY l_returnflag";
+    let serial_tree = plan_tree(&catalog, sql, 1).unwrap();
+    let reference = execute_tree(&catalog, &serial_tree, &exec).unwrap();
+
+    for (mode, start_dop, grew) in [("forced-grow", 2, true), ("forced-shrink", 4, false)] {
+        let mut fleet = Fleet::connect(
+            std::slice::from_ref(&w1.ctrl),
+            catalog.clone(),
+            exec.clone(),
+            mode,
+            start_dop,
+        )
+        .unwrap_or_else(|e| panic!("{mode}: fleet connect: {e}"));
+        let run = fleet
+            .run_sql(sql)
+            .unwrap_or_else(|e| panic!("{mode} failed distributed: {e}"));
+        assert_rows_close(mode, &sorted(run.result.rows()), &sorted(reference.rows()));
+        assert!(
+            run.remote_slots >= 1,
+            "{mode}: plan never crossed processes"
+        );
+        let retunes = &run.result.stats().retunes;
+        assert!(
+            retunes.iter().any(|r| if grew {
+                r.to_dop > r.from_dop
+            } else {
+                r.to_dop < r.from_dop
+            }),
+            "{mode} never retuned: {retunes:?}"
+        );
+        fleet.shutdown();
+    }
+}
+
+#[test]
+fn coord_subcommand_runs_a_fleet_end_to_end() {
+    let w1 = spawn_worker();
+    let out = Command::new(env!("CARGO_BIN_EXE_accordion-core"))
+        .args([
+            "coord",
+            "--worker",
+            &w1.ctrl,
+            "--sf",
+            SF,
+            "--dop",
+            "4",
+            "--expect-rows",
+            "3",
+            "-e",
+            "SELECT l_returnflag, count(*) AS n FROM lineitem GROUP BY l_returnflag",
+        ])
+        .output()
+        .expect("run accordion-core coord");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "coord failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("remote slots)"),
+        "coord printed no trailer: {stdout}"
+    );
+}

@@ -261,6 +261,53 @@ fn show_admission_reports_the_gate_and_rejections_surface_as_err_frames() {
 }
 
 #[test]
+fn connect_is_bounded_against_dead_and_mute_servers() {
+    use accordion_common::config::NetworkConfig;
+    use std::time::{Duration, Instant};
+
+    let network = NetworkConfig::builder().connect_timeout_ms(200).build();
+
+    // A listener that accepts but never greets: the greeting read must time
+    // out instead of hanging the client forever.
+    let mute = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = mute.local_addr().unwrap();
+    let hold = std::thread::spawn(move || mute.accept());
+    let start = Instant::now();
+    let err = match Client::connect_with(addr, &network) {
+        Err(e) => e,
+        Ok(_) => panic!("connected to a server that never greeted"),
+    };
+    assert!(
+        err.to_string().contains("read timeout"),
+        "unexpected error: {err}"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "greeting read hung"
+    );
+    drop(hold);
+
+    // Nothing listening at all: bounded retries with backoff, then a
+    // connect error that names the attempt count.
+    let vacant = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = vacant.local_addr().unwrap();
+    drop(vacant);
+    let start = Instant::now();
+    let err = match Client::connect_with(addr, &network) {
+        Err(e) => e,
+        Ok(_) => panic!("connected to a dead address"),
+    };
+    assert!(
+        err.to_string().contains("connect failed after"),
+        "unexpected error: {err}"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "connect retried unboundedly"
+    );
+}
+
+#[test]
 fn shutdown_disconnects_sessions_and_poisons_in_flight_queries() {
     let mut server = start_server(1);
     let addr = server.local_addr();

@@ -56,6 +56,25 @@ impl Validity {
         self.len == 0
     }
 
+    /// Raw bitmap words (row `i` lives at bit `i % 64` of word `i / 64`).
+    /// Exposed for the wire codec only — word padding bits are
+    /// representation, not data.
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Rebuilds a bitmap from raw words (wire-codec decode path).
+    pub(crate) fn from_words(bits: Vec<u64>, len: usize) -> Result<Validity, String> {
+        if bits.len() != len.div_ceil(64) {
+            return Err(format!(
+                "validity word count {} does not match {} rows",
+                bits.len(),
+                len
+            ));
+        }
+        Ok(Validity { bits, len })
+    }
+
     /// Number of null rows.
     pub fn null_count(&self) -> usize {
         let mut valid = 0usize;
@@ -136,6 +155,45 @@ impl Utf8Column {
 
     pub fn byte_size(&self) -> usize {
         self.data.len() + self.offsets.len() * 4
+    }
+
+    /// Raw byte arena (wire-codec encode path).
+    pub(crate) fn data_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Raw offsets; `offsets[rows]` is the arena length. May be empty for a
+    /// never-pushed column — encoders must treat that as `[0]`.
+    pub(crate) fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Rebuilds a column from a raw arena + offsets, validating every
+    /// invariant `value()` later relies on (wire-codec decode path: the
+    /// input crossed a network and cannot be trusted).
+    pub(crate) fn from_raw(data: Vec<u8>, offsets: Vec<u32>) -> Result<Utf8Column, String> {
+        if offsets.first() != Some(&0) {
+            return Err("utf8 offsets must start at 0".to_string());
+        }
+        let mut prev = 0u32;
+        for &o in &offsets {
+            if o < prev {
+                return Err("utf8 offsets are not monotonic".to_string());
+            }
+            prev = o;
+        }
+        if prev as usize != data.len() {
+            return Err(format!(
+                "utf8 arena is {} bytes but final offset is {prev}",
+                data.len()
+            ));
+        }
+        for w in offsets.windows(2) {
+            if std::str::from_utf8(&data[w[0] as usize..w[1] as usize]).is_err() {
+                return Err("utf8 value is not valid UTF-8".to_string());
+            }
+        }
+        Ok(Utf8Column { data, offsets })
     }
 }
 

@@ -10,18 +10,18 @@
 use crate::column::Column;
 use crate::page::DataPage;
 
-const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+pub(crate) const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
 const NULL_SENTINEL: u64 = 0xDEAD_BEEF_0BAD_F00D;
 
 #[inline]
-fn mix(mut h: u64, v: u64) -> u64 {
+pub(crate) fn mix(mut h: u64, v: u64) -> u64 {
     h ^= v.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
     h = h.rotate_left(31);
     h.wrapping_mul(0xC4CE_B9FE_1A85_EC53)
 }
 
 #[inline]
-fn finalize(mut h: u64) -> u64 {
+pub(crate) fn finalize(mut h: u64) -> u64 {
     h ^= h >> 33;
     h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
     h ^= h >> 33;

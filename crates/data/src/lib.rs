@@ -16,6 +16,9 @@
 //!   join hash tables.
 //! * [`grouptable`] — the open-addressing raw table over encoded keys that
 //!   grouped aggregation and join builds share.
+//! * [`wire`] — the versioned binary page codec behind [`page::Page::encode`]
+//!   / [`page::Page::decode`]: one buffer per page on the network, with a
+//!   schema hash and checksum guarding every frame.
 
 pub mod column;
 pub mod grouptable;
@@ -25,6 +28,7 @@ pub mod rowkey;
 pub mod schema;
 pub mod sort;
 pub mod types;
+pub mod wire;
 
 pub use column::{Column, ColumnBuilder};
 pub use page::{DataPage, Page, PageBuilder};

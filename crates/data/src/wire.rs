@@ -1,0 +1,417 @@
+//! Binary page wire codec — version 1.
+//!
+//! The one encoding boundary of the engine: [`Page::encode`] /
+//! [`Page::decode`] (defined on [`Page`], implemented here) turn a page
+//! into a single contiguous buffer and back, so a cross-process exchange
+//! transfer is one buffer write instead of a deep clone. The transport adds
+//! its own outer length prefix; this module defines everything inside it.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! byte 0        WIRE_VERSION (currently 1)
+//! byte 1        kind: 0 = data page, 1 = end page
+//!
+//! end page:
+//! byte 2        EndReason discriminant (0..=3)
+//!
+//! data page:
+//! bytes 2..10   schema hash   u64 LE  (column count + per-column type tags)
+//! bytes 10..14  row count     u32 LE
+//! bytes 14..18  column count  u32 LE
+//! per column:
+//!   tag           u8   (0 Int64, 1 Float64, 2 Bool, 3 Date32, 4 Utf8)
+//!   has_validity  u8   (0 absent = all rows valid, 1 bitmap follows)
+//!   [validity]    ceil(rows/64) × u64 LE bitmap words
+//!   data          Int64/Float64: rows × 8 B LE (floats via `to_bits`, so
+//!                 NaN payloads and −0.0 survive bit-exactly)
+//!                 Date32: rows × 4 B LE · Bool: rows × 1 B
+//!                 Utf8: (rows+1) × u32 LE offsets, then the byte arena
+//! trailer       checksum u64 LE over bytes [2, len−8)
+//! ```
+//!
+//! ## Versioning rule
+//!
+//! A frame opens with its version byte; decoders reject versions they do
+//! not speak with a typed [`AccordionError::Wire`] — never a panic — so a
+//! mixed-version fleet fails queries loudly instead of misreading buffers.
+//! Any layout change bumps `WIRE_VERSION`.
+//!
+//! ## Size bound
+//!
+//! `encoded_len ≤ DataPage::byte_size() + FRAME_OVERHEAD +
+//! PER_COLUMN_OVERHEAD × num_columns` — the codec adds framing, never
+//! inflates data. The property suite in `tests/wire_roundtrip.rs` pins
+//! this bound.
+
+use std::sync::Arc;
+
+use accordion_common::{AccordionError, Result};
+
+use crate::column::{Column, Utf8Column, Validity};
+use crate::hash::{finalize, mix, SEED};
+use crate::page::{DataPage, EndPage, EndReason, Page};
+use crate::types::DataType;
+
+/// Current frame version; bumped on any layout change.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Fixed framing bytes of a data frame: version + kind + schema hash +
+/// row count + column count + checksum.
+pub const FRAME_OVERHEAD: usize = 2 + 8 + 4 + 4 + 8;
+
+/// Worst-case per-column overhead beyond [`DataPage::byte_size`]: type tag
+/// and validity flag (2), bitmap word padding (≤ 8), and the Utf8 offsets
+/// slot a degenerate empty column never accounted for (≤ 4).
+pub const PER_COLUMN_OVERHEAD: usize = 2 + 8 + 4;
+
+const KIND_DATA: u8 = 0;
+const KIND_END: u8 = 1;
+
+fn type_tag(dt: DataType) -> u8 {
+    match dt {
+        DataType::Int64 => 0,
+        DataType::Float64 => 1,
+        DataType::Bool => 2,
+        DataType::Date32 => 3,
+        DataType::Utf8 => 4,
+    }
+}
+
+fn tag_type(tag: u8) -> Result<DataType> {
+    Ok(match tag {
+        0 => DataType::Int64,
+        1 => DataType::Float64,
+        2 => DataType::Bool,
+        3 => DataType::Date32,
+        4 => DataType::Utf8,
+        other => return Err(err(format!("unknown column type tag {other}"))),
+    })
+}
+
+fn err(msg: impl Into<String>) -> AccordionError {
+    AccordionError::Wire(msg.into())
+}
+
+/// Stable hash of a column-type layout — the value carried in every data
+/// frame's header. Both ends of an exchange edge derive it independently
+/// from the planned schema; a mismatch means the frame belongs to a
+/// different edge (or a different plan) and is rejected before any data is
+/// interpreted.
+pub fn schema_hash(types: &[DataType]) -> u64 {
+    let mut h = mix(SEED, types.len() as u64);
+    for &dt in types {
+        h = mix(h, u64::from(type_tag(dt)) + 1);
+    }
+    finalize(h)
+}
+
+/// Checksum over the frame payload, chunked into 8-byte LE words (the tail
+/// chunk zero-padded), seeded with the payload length so truncation to a
+/// chunk boundary still fails.
+fn checksum(payload: &[u8]) -> u64 {
+    let mut h = mix(SEED, payload.len() as u64);
+    for chunk in payload.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        h = mix(h, u64::from_le_bytes(word));
+    }
+    finalize(h)
+}
+
+fn end_reason_tag(reason: EndReason) -> u8 {
+    match reason {
+        EndReason::ScanExhausted => 0,
+        EndReason::UpstreamFinished => 1,
+        EndReason::EndSignal => 2,
+        EndReason::LocalExchangeDrained => 3,
+    }
+}
+
+fn tag_end_reason(tag: u8) -> Result<EndReason> {
+    Ok(match tag {
+        0 => EndReason::ScanExhausted,
+        1 => EndReason::UpstreamFinished,
+        2 => EndReason::EndSignal,
+        3 => EndReason::LocalExchangeDrained,
+        other => return Err(err(format!("unknown end reason {other}"))),
+    })
+}
+
+pub(crate) fn encode_page(page: &Page) -> Vec<u8> {
+    match page {
+        Page::End(end) => vec![WIRE_VERSION, KIND_END, end_reason_tag(end.reason)],
+        Page::Data(data) => encode_data_page(data),
+    }
+}
+
+fn encode_data_page(page: &DataPage) -> Vec<u8> {
+    let types: Vec<DataType> = page.columns().iter().map(|c| c.data_type()).collect();
+    let mut buf = Vec::with_capacity(
+        page.byte_size() + FRAME_OVERHEAD + PER_COLUMN_OVERHEAD * page.num_columns(),
+    );
+    buf.push(WIRE_VERSION);
+    buf.push(KIND_DATA);
+    buf.extend_from_slice(&schema_hash(&types).to_le_bytes());
+    buf.extend_from_slice(&(page.row_count() as u32).to_le_bytes());
+    buf.extend_from_slice(&(page.num_columns() as u32).to_le_bytes());
+    for col in page.columns() {
+        buf.push(type_tag(col.data_type()));
+        match col.validity() {
+            Some(v) => {
+                buf.push(1);
+                for word in v.words() {
+                    buf.extend_from_slice(&word.to_le_bytes());
+                }
+            }
+            None => buf.push(0),
+        }
+        match col {
+            Column::Int64(v, _) => {
+                for x in v.iter() {
+                    buf.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            Column::Float64(v, _) => {
+                for x in v.iter() {
+                    buf.extend_from_slice(&x.to_bits().to_le_bytes());
+                }
+            }
+            Column::Bool(v, _) => buf.extend(v.iter().map(|&b| u8::from(b))),
+            Column::Date32(v, _) => {
+                for x in v.iter() {
+                    buf.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            Column::Utf8(v, _) => {
+                let offsets = v.offsets();
+                if offsets.is_empty() {
+                    // Degenerate never-pushed column: canonical `[0]`.
+                    buf.extend_from_slice(&0u32.to_le_bytes());
+                } else {
+                    for o in offsets {
+                        buf.extend_from_slice(&o.to_le_bytes());
+                    }
+                }
+                buf.extend_from_slice(v.data_bytes());
+            }
+        }
+    }
+    let sum = checksum(&buf[2..]);
+    buf.extend_from_slice(&sum.to_le_bytes());
+    buf
+}
+
+/// Bounds-checked little-endian reader over a frame body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.buf.len() - self.pos < n {
+            return Err(err(format!(
+                "truncated frame: wanted {n} bytes at offset {}, {} remain",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+pub(crate) fn decode_page(bytes: &[u8], expected_schema: Option<u64>) -> Result<Page> {
+    let mut c = Cursor { buf: bytes, pos: 0 };
+    let version = c.u8()?;
+    if version != WIRE_VERSION {
+        return Err(err(format!(
+            "unsupported wire version {version} (this build speaks {WIRE_VERSION})"
+        )));
+    }
+    match c.u8()? {
+        KIND_END => {
+            let reason = tag_end_reason(c.u8()?)?;
+            if c.pos != bytes.len() {
+                return Err(err("trailing bytes after end frame"));
+            }
+            Ok(Page::End(EndPage { reason }))
+        }
+        KIND_DATA => decode_data_page(bytes, expected_schema),
+        other => Err(err(format!("unknown frame kind {other}"))),
+    }
+}
+
+fn decode_data_page(bytes: &[u8], expected_schema: Option<u64>) -> Result<Page> {
+    if bytes.len() < FRAME_OVERHEAD {
+        return Err(err(format!(
+            "truncated frame: {} bytes is below the {FRAME_OVERHEAD}-byte minimum",
+            bytes.len()
+        )));
+    }
+    // Verify the trailer before interpreting anything inside the payload —
+    // corruption surfaces as one uniform error instead of a parse artifact.
+    let body_end = bytes.len() - 8;
+    let stored = u64::from_le_bytes(bytes[body_end..].try_into().unwrap());
+    let actual = checksum(&bytes[2..body_end]);
+    if stored != actual {
+        return Err(err(format!(
+            "checksum mismatch: frame carries {stored:#018x}, payload hashes to {actual:#018x}"
+        )));
+    }
+    let mut c = Cursor {
+        buf: &bytes[..body_end],
+        pos: 2,
+    };
+    let frame_schema = c.u64()?;
+    if let Some(expected) = expected_schema {
+        if frame_schema != expected {
+            return Err(err(format!(
+                "schema hash mismatch: frame carries {frame_schema:#018x}, \
+                 edge expects {expected:#018x}"
+            )));
+        }
+    }
+    let rows = c.u32()? as usize;
+    let ncols = c.u32()? as usize;
+    let mut columns = Vec::with_capacity(ncols.min(1024));
+    let mut types = Vec::with_capacity(ncols.min(1024));
+    for _ in 0..ncols {
+        let dt = tag_type(c.u8()?)?;
+        types.push(dt);
+        let validity = match c.u8()? {
+            0 => None,
+            1 => {
+                let words = c
+                    .take(rows.div_ceil(64) * 8)?
+                    .chunks_exact(8)
+                    .map(|w| u64::from_le_bytes(w.try_into().unwrap()))
+                    .collect();
+                Some(Arc::new(Validity::from_words(words, rows).map_err(err)?))
+            }
+            other => return Err(err(format!("invalid validity flag {other}"))),
+        };
+        let column = match dt {
+            DataType::Int64 => Column::Int64(
+                Arc::new(
+                    c.take(rows * 8)?
+                        .chunks_exact(8)
+                        .map(|w| i64::from_le_bytes(w.try_into().unwrap()))
+                        .collect(),
+                ),
+                validity,
+            ),
+            DataType::Float64 => Column::Float64(
+                Arc::new(
+                    c.take(rows * 8)?
+                        .chunks_exact(8)
+                        .map(|w| f64::from_bits(u64::from_le_bytes(w.try_into().unwrap())))
+                        .collect(),
+                ),
+                validity,
+            ),
+            DataType::Bool => Column::Bool(
+                Arc::new(c.take(rows)?.iter().map(|&b| b != 0).collect()),
+                validity,
+            ),
+            DataType::Date32 => Column::Date32(
+                Arc::new(
+                    c.take(rows * 4)?
+                        .chunks_exact(4)
+                        .map(|w| i32::from_le_bytes(w.try_into().unwrap()))
+                        .collect(),
+                ),
+                validity,
+            ),
+            DataType::Utf8 => {
+                let offsets: Vec<u32> = c
+                    .take((rows + 1) * 4)?
+                    .chunks_exact(4)
+                    .map(|w| u32::from_le_bytes(w.try_into().unwrap()))
+                    .collect();
+                let arena_len = *offsets.last().unwrap() as usize;
+                let data = c.take(arena_len)?.to_vec();
+                Column::Utf8(
+                    Arc::new(Utf8Column::from_raw(data, offsets).map_err(err)?),
+                    validity,
+                )
+            }
+        };
+        columns.push(column);
+    }
+    if c.pos != body_end {
+        return Err(err(format!(
+            "trailing bytes: {} unread before the checksum",
+            body_end - c.pos
+        )));
+    }
+    if schema_hash(&types) != frame_schema {
+        return Err(err("schema hash does not match the frame's own columns"));
+    }
+    let page = if columns.is_empty() {
+        DataPage::row_count_only(rows)
+    } else {
+        if columns.iter().any(|col| col.len() != rows) {
+            return Err(err("column length does not match frame row count"));
+        }
+        DataPage::new(columns)
+    };
+    Ok(Page::Data(Arc::new(page)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_hash_discriminates_layouts() {
+        let a = schema_hash(&[DataType::Int64, DataType::Utf8]);
+        let b = schema_hash(&[DataType::Utf8, DataType::Int64]);
+        let c = schema_hash(&[DataType::Int64]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, schema_hash(&[DataType::Int64, DataType::Utf8]));
+    }
+
+    #[test]
+    fn end_pages_are_three_bytes() {
+        for reason in [
+            EndReason::ScanExhausted,
+            EndReason::UpstreamFinished,
+            EndReason::EndSignal,
+            EndReason::LocalExchangeDrained,
+        ] {
+            let buf = Page::end(reason).encode();
+            assert_eq!(buf.len(), 3);
+            assert_eq!(Page::decode(&buf).unwrap(), Page::end(reason));
+        }
+    }
+
+    #[test]
+    fn bad_end_reason_is_a_typed_error() {
+        let err = Page::decode(&[WIRE_VERSION, KIND_END, 9]).unwrap_err();
+        assert!(matches!(err, AccordionError::Wire(_)), "{err}");
+    }
+
+    #[test]
+    fn version_gate() {
+        let mut buf = Page::end(EndReason::EndSignal).encode();
+        buf[0] = 2;
+        let err = Page::decode(&buf).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+}

@@ -5,15 +5,17 @@
 //! same [`ExchangeRegistry`] endpoints the multi-threaded scheduler in
 //! `accordion-cluster` uses — there is no materialized stage-output map
 //! anywhere. Because a whole stage completes before its consumer starts,
-//! the serial path uses [`ExchangeRegistry::in_process`] (unbounded
+//! the serial path uses [`ExchangeRegistry::build_in_process`] (unbounded
 //! buffers, free network); bounded elastic buffers, the worker pool and the
 //! NIC model only make sense with concurrent tasks and live in
 //! `accordion-cluster`.
 //!
-//! [`register_exchanges`] — shared with the cluster scheduler — wires one
-//! exchange edge per stage: `parallelism` producer tasks routing by the
-//! stage's output partitioning into one elastic queue per consumer task
-//! (stage 0's consumer is the coordinator).
+//! [`exchange_topology`] — shared with the cluster scheduler — derives the
+//! query's [`ExchangeTopology`] from the stage tree: one edge per stage,
+//! `parallelism` producer tasks routing by the stage's output partitioning
+//! into one consumer slot per consumer task (stage 0's consumer is the
+//! coordinator). All slots are local; the distributed scheduler re-homes
+//! slots onto worker nodes before building the registry.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -23,7 +25,7 @@ use accordion_common::{AccordionError, Result};
 use accordion_data::page::{DataPage, Page, PageBuilder};
 use accordion_data::schema::{Schema, SchemaRef};
 use accordion_data::types::Value;
-use accordion_net::{ExchangeReader, ExchangeRegistry, RoutePolicy};
+use accordion_net::{EdgeSpec, ExchangeReader, ExchangeRegistry, ExchangeTopology, RoutePolicy};
 use accordion_plan::fragment::StageTree;
 use accordion_plan::logical::LogicalPlan;
 use accordion_plan::optimizer::Optimizer;
@@ -169,23 +171,18 @@ pub fn route_policy(p: &Partitioning) -> RoutePolicy {
     }
 }
 
-/// Registers one exchange edge per stage of `tree` in `registry`. The
-/// consumer of a stage is its parent stage's task set; stage 0 is consumed
-/// by the coordinator (one consumer).
-pub fn register_exchanges(registry: &ExchangeRegistry, tree: &StageTree) -> Result<()> {
-    register_exchanges_leased(registry, tree, &HashSet::new())
-}
-
-/// [`register_exchanges`] with a **writer lease** on the stages in `leased`:
-/// their edges get one extra producer slot, which the elasticity controller
-/// claims and holds so the edge cannot end — and consumers cannot conclude
-/// the stage is done — while a mid-query DOP retune is still possible (see
-/// `accordion_net::exchange` on the EndSignal handshake).
-pub fn register_exchanges_leased(
-    registry: &ExchangeRegistry,
-    tree: &StageTree,
-    leased: &HashSet<u32>,
-) -> Result<()> {
+/// Derives the exchange wiring of `tree` as an all-local
+/// [`ExchangeTopology`]: one edge per stage, whose consumer is its parent
+/// stage's task set (stage 0 is consumed by the coordinator, one slot).
+/// Stages in `leased` get the elasticity controller's **writer lease**
+/// slot: one extra producer the controller claims and holds so the edge
+/// cannot end — and consumers cannot conclude the stage is done — while a
+/// mid-query DOP retune is still possible (see `accordion_net::exchange`
+/// on the EndSignal handshake). Pass an empty set for non-elastic runs.
+///
+/// The distributed scheduler takes this as its starting point and re-homes
+/// consumer slots onto worker nodes before building each node's registry.
+pub fn exchange_topology(tree: &StageTree, leased: &HashSet<u32>) -> Result<ExchangeTopology> {
     let mut consumers: HashMap<u32, u32> = HashMap::new();
     consumers.insert(0, 1);
     for f in tree.fragments() {
@@ -193,19 +190,23 @@ pub fn register_exchanges_leased(
             consumers.insert(c.0, f.parallelism.max(1));
         }
     }
+    let mut topology = ExchangeTopology::new(0);
     for f in tree.fragments() {
         let n = consumers.get(&f.stage.0).copied().ok_or_else(|| {
             AccordionError::Internal(format!("stage {} has no consumer", f.stage))
         })?;
-        let lease_slots = u32::from(leased.contains(&f.stage.0));
-        registry.register(
+        let mut spec = EdgeSpec::local(
             f.stage.0,
-            f.parallelism.max(1) + lease_slots,
+            f.parallelism.max(1),
             route_policy(&f.output_partitioning),
             n,
-        )?;
+        );
+        if leased.contains(&f.stage.0) {
+            spec = spec.leased();
+        }
+        topology = topology.edge(spec);
     }
-    Ok(())
+    Ok(topology)
 }
 
 /// Drains the coordinator's reader (stage 0) into result pages.
@@ -231,8 +232,8 @@ pub fn execute_tree(
     tree: &StageTree,
     opts: &ExecOptions,
 ) -> Result<QueryResult> {
-    let registry = ExchangeRegistry::in_process();
-    register_exchanges(&registry, tree)?;
+    let topology = exchange_topology(tree, &HashSet::new())?;
+    let registry = ExchangeRegistry::build_in_process(&topology)?;
     let metrics = Arc::new(QueryMetrics::new());
     for stage_id in tree.execution_order() {
         let fragment = tree.fragment(stage_id)?;

@@ -39,11 +39,11 @@ pub mod splits;
 
 pub use driver::{run_pipeline, run_task, TaskContext};
 pub use executor::{
-    drain_result, execute_logical, execute_tree, register_exchanges, register_exchanges_leased,
-    route_policy, ExecOptions, QueryResult,
+    drain_result, exchange_topology, execute_logical, execute_tree, route_policy, ExecOptions,
+    QueryResult,
 };
 pub use metrics::{
     OperatorStats, QueryMetrics, QueryStats, RetuneEvent, RuntimeCollector, StageSeries,
 };
 pub use operators::{JoinTable, PageStream};
-pub use splits::{FeedScanSource, SplitFeed, SplitQueue};
+pub use splits::{FeedScanSource, SplitFeed, SplitQueue, SplitSource};

@@ -15,17 +15,44 @@
 //! always happen *between splits*, never mid-split (paper Fig 13). Retired
 //! tasks observe their retirement at the same boundary: their next claim
 //! returns `None` and the scan emits `Page::End(EndSignal)`.
+//!
+//! Claiming is **locality-aware**: a claimant that names its node
+//! ([`SplitFeed::at_node`]) is preferentially handed splits whose
+//! [`Split::node`] matches, falling back to stealing the oldest remaining
+//! split once its node-local pool is dry — work-stealing FIFO, so locality
+//! never costs progress. Claimants without a node (the single-process
+//! executor) keep the exact FIFO order.
+//!
+//! The [`SplitSource`] trait abstracts *where* the pool lives: in-process
+//! tasks claim straight from the shared [`SplitQueue`], while the tasks of
+//! a distributed worker claim through a proxy that forwards to the
+//! coordinator's queue — the single pool is what keeps mid-query DOP
+//! changes lossless, so it is never sharded across nodes.
 
 use std::collections::HashSet;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 use accordion_common::sync::{condvar_wait, Condvar, Mutex, Semaphore};
-use accordion_common::Result;
+use accordion_common::{NodeId, Result};
 use accordion_data::page::{EndReason, Page};
 use accordion_storage::split::{Split, SplitPages};
 
 use crate::operators::PageStream;
+
+/// A pool of splits that tasks claim from, one at a time. Implemented by
+/// the in-process [`SplitQueue`] and by the distributed worker's proxy to
+/// the coordinator's queue.
+pub trait SplitSource: Send + Sync {
+    /// Claims the next split for task `slot`, preferring splits local to
+    /// `node` when given. Returns `None` when the pool is exhausted or the
+    /// slot was retired. `gate` is yielded for the duration of any wait.
+    fn claim(&self, slot: u32, node: Option<NodeId>, gate: Option<&Semaphore>) -> Option<Split>;
+
+    /// True once `slot` was retired (distinguishes the EndSignal scan end
+    /// from plain exhaustion).
+    fn is_retired(&self, slot: u32) -> bool;
+}
 
 #[derive(Debug)]
 struct QueueState {
@@ -72,6 +99,20 @@ impl SplitQueue {
     /// is exhausted or the slot was retired. `gate` (the scheduler's
     /// compute-slot semaphore) is yielded for the duration of any wait.
     pub fn claim(&self, slot: u32, gate: Option<&Semaphore>) -> Option<Split> {
+        self.claim_at(slot, None, gate)
+    }
+
+    /// [`claim`](Self::claim) with a locality preference: when `node` is
+    /// given, the oldest split whose [`Split::node`] matches is handed out
+    /// first; once the claimant's node-local pool is dry it steals the
+    /// oldest remaining split instead. With `node == None` this is exactly
+    /// FIFO.
+    pub fn claim_at(
+        &self,
+        slot: u32,
+        node: Option<NodeId>,
+        gate: Option<&Semaphore>,
+    ) -> Option<Split> {
         loop {
             let mut st = self.state.lock();
             if st.retired.contains(&slot) {
@@ -82,7 +123,10 @@ impl SplitQueue {
             }
             let paused = !st.released && matches!(st.pause_after, Some(n) if st.claimed >= n);
             if !paused {
-                let split = st.splits.pop_front().expect("non-empty checked above");
+                let pick = node
+                    .and_then(|n| st.splits.iter().position(|s| s.node == n))
+                    .unwrap_or(0);
+                let split = st.splits.remove(pick).expect("non-empty checked above");
                 st.claimed += 1;
                 st.remaining_rows = st.remaining_rows.saturating_sub(split.rows);
                 st.remaining_bytes = st.remaining_bytes.saturating_sub(split.bytes);
@@ -165,35 +209,71 @@ impl SplitQueue {
     }
 }
 
-/// One task's handle on its stage's [`SplitQueue`].
+impl SplitSource for SplitQueue {
+    fn claim(&self, slot: u32, node: Option<NodeId>, gate: Option<&Semaphore>) -> Option<Split> {
+        self.claim_at(slot, node, gate)
+    }
+
+    fn is_retired(&self, slot: u32) -> bool {
+        SplitQueue::is_retired(self, slot)
+    }
+}
+
+/// One task's handle on its stage's split pool, optionally pinned to a
+/// node for locality-preferring claims.
 #[derive(Clone)]
 pub struct SplitFeed {
-    pub queue: Arc<SplitQueue>,
+    source: Arc<dyn SplitSource>,
     /// This task's slot id (stable across the query; never reused).
-    pub slot: u32,
+    slot: u32,
+    /// Claim splits local to this node first, stealing when none remain.
+    node: Option<NodeId>,
     /// Compute-slot semaphore to yield while blocked at a pause boundary.
-    pub gate: Option<Arc<Semaphore>>,
+    gate: Option<Arc<Semaphore>>,
 }
 
 impl std::fmt::Debug for SplitFeed {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SplitFeed")
             .field("slot", &self.slot)
+            .field("node", &self.node)
             .finish()
     }
 }
 
 impl SplitFeed {
     pub fn new(queue: Arc<SplitQueue>, slot: u32, gate: Option<Arc<Semaphore>>) -> Self {
-        SplitFeed { queue, slot, gate }
+        SplitFeed::from_source(queue, slot, gate)
+    }
+
+    /// A feed over any [`SplitSource`] — the distributed worker's proxy to
+    /// the coordinator's queue uses this.
+    pub fn from_source(
+        source: Arc<dyn SplitSource>,
+        slot: u32,
+        gate: Option<Arc<Semaphore>>,
+    ) -> Self {
+        SplitFeed {
+            source,
+            slot,
+            node: None,
+            gate,
+        }
+    }
+
+    /// Pins the feed to a node: claims prefer splits local to it.
+    pub fn at_node(mut self, node: NodeId) -> Self {
+        self.node = Some(node);
+        self
     }
 
     pub fn claim(&self) -> Option<Split> {
-        self.queue.claim(self.slot, self.gate.as_deref())
+        self.source
+            .claim(self.slot, self.node, self.gate.as_deref())
     }
 
     pub fn retired(&self) -> bool {
-        self.queue.is_retired(self.slot)
+        self.source.is_retired(self.slot)
     }
 }
 
@@ -291,6 +371,56 @@ mod tests {
         assert_eq!(q.claimed(), 3);
         assert_eq!(q.remaining_rows(), 0);
         assert!(q.claim(1, None).is_none(), "exhausted for every slot");
+    }
+
+    /// `split` with an explicit home node.
+    fn split_on(id: u64, node: u32, vals: Vec<i64>) -> Split {
+        let mut s = split(id, vals);
+        s.node = NodeId(node);
+        s
+    }
+
+    #[test]
+    fn node_local_splits_are_claimed_first() {
+        let q = SplitQueue::new(vec![
+            split_on(0, 0, vec![1]),
+            split_on(1, 1, vec![2]),
+            split_on(2, 0, vec![3]),
+            split_on(3, 1, vec![4]),
+        ]);
+        // A node-1 claimant drains its local splits (FIFO among them)...
+        assert_eq!(q.claim_at(0, Some(NodeId(1)), None).unwrap().id.0, 1);
+        assert_eq!(q.claim_at(0, Some(NodeId(1)), None).unwrap().id.0, 3);
+        // ...then steals the oldest remaining split rather than starving.
+        assert_eq!(q.claim_at(0, Some(NodeId(1)), None).unwrap().id.0, 0);
+        assert_eq!(q.claim_at(0, Some(NodeId(1)), None).unwrap().id.0, 2);
+        assert!(q.claim_at(0, Some(NodeId(1)), None).is_none());
+        assert_eq!(q.claimed(), 4);
+        assert_eq!(q.remaining_rows(), 0);
+    }
+
+    #[test]
+    fn claim_without_node_stays_exact_fifo() {
+        let q = SplitQueue::new(vec![
+            split_on(0, 2, vec![1]),
+            split_on(1, 0, vec![2]),
+            split_on(2, 1, vec![3]),
+        ]);
+        for expect in 0..3 {
+            assert_eq!(q.claim(0, None).unwrap().id.0, expect);
+        }
+    }
+
+    #[test]
+    fn feed_pinned_to_node_prefers_local_splits() {
+        let q = Arc::new(SplitQueue::new(vec![
+            split_on(0, 0, vec![1]),
+            split_on(1, 1, vec![2]),
+        ]));
+        let feed = SplitFeed::new(q.clone(), 0, None).at_node(NodeId(1));
+        assert_eq!(feed.claim().unwrap().id.0, 1, "local split first");
+        assert_eq!(feed.claim().unwrap().id.0, 0, "then steals");
+        assert!(feed.claim().is_none());
     }
 
     #[test]

@@ -7,16 +7,32 @@
 //! producer's contribution (paper Fig 13), and a reader receives a single
 //! end page once every producer has finished and the buffers are drained.
 //!
-//! The [`ExchangeRegistry`] owns the wiring. For every stage it builds one
-//! [`ElasticQueue`] per consumer task and hands out:
+//! ## Topology-first wiring
 //!
-//! * writers that route data pages by the stage's output [`RoutePolicy`] —
-//!   gather/broadcast (`Single`), hash partitioning, or round-robin — while
-//!   charging each transfer against the shared [`NicModel`];
-//! * readers bound to one consumer task's queue.
+//! All wiring is declared up front as an [`ExchangeTopology`]: one
+//! [`EdgeSpec`] per stage output, each naming its producer count, routing
+//! policy, and **where every consumer slot lives** ([`ConsumerLoc`]).
+//! [`ExchangeRegistry::build`] consumes the descriptor and materializes one
+//! [`ElasticQueue`] per consumer slot; writers route data pages by the
+//! edge's [`RoutePolicy`] — gather/broadcast (`Single`), hash partitioning,
+//! or round-robin — charging each transfer against the shared [`NicModel`].
+//!
+//! The registry is **transport-agnostic**: a slot marked
+//! [`ConsumerLoc::Local`] is reached through its shared-memory queue, a
+//! [`ConsumerLoc::Remote`] slot through a lazily-opened TCP
+//! [`PageSink`] toward that node's
+//! [`PageServer`](crate::tcp::PageServer), which feeds the page into the
+//! *same* queue type on the remote side. Producers and consumers cannot
+//! tell which transport an edge uses. Every node of a distributed query
+//! builds the **same global topology** (slots it does not own marked
+//! remote), so consumer-slot indices, hash partitions, and writer
+//! accounting agree everywhere: a finishing producer decrements its slot on
+//! every local queue directly and on every remote node via a FINISH frame.
 //!
 //! A failed task [`ExchangeRegistry::poison`]s the registry: every queue
-//! fails, which unwinds all blocked sibling tasks with the original error.
+//! fails, which unwinds all blocked sibling tasks with the original error —
+//! and the poison is broadcast over the topology's control channels, so
+//! remote siblings unwind too.
 //!
 //! ## Re-parallelization and the EndSignal handshake (Fig 13)
 //!
@@ -24,16 +40,18 @@
 //! controller. Shrinking needs no exchange support at all: a retiring task
 //! simply pushes `Page::End(EndSignal)` through its writer, closing its
 //! contribution. Growing re-registers the edge at the larger DOP with
-//! [`ExchangeRegistry::add_producers`] before the new tasks' writers push.
-//! The race between "last old producer finishes" and "new producers are
-//! added" is closed by a **writer lease**: the controller registers elastic
-//! edges with one extra producer slot and holds that writer itself, so the
-//! queues cannot deliver their end page — and consumers cannot conclude the
-//! stage is done — while a retune is still possible. Dropping the lease
+//! [`ExchangeRegistry::add_producers`] before the new tasks' writers push
+//! (remote peers acknowledge the growth before it returns, so a grown
+//! task's pages can never outrun its registration). The race between "last
+//! old producer finishes" and "new producers are added" is closed by a
+//! **writer lease**: an [`EdgeSpec`] marked [`EdgeSpec::leased`] carries
+//! one extra producer slot that the controller holds itself, so the queues
+//! cannot deliver their end page — and consumers cannot conclude the stage
+//! is done — while a retune is still possible. Dropping the lease
 //! (explicitly, or via the writer drop guard on error paths) releases the
 //! slot once the stage's split queue is exhausted.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use accordion_common::config::NetworkConfig;
@@ -44,6 +62,7 @@ use accordion_data::page::{DataPage, EndReason, Page};
 
 use crate::buffer::{ElasticQueue, ExchangeLimits};
 use crate::nic::NicModel;
+use crate::tcp::{ControlLink, PageSink};
 
 /// Producer side of one exchange edge, held by a running task.
 pub trait ExchangeWriter: Send {
@@ -84,6 +103,430 @@ impl RoutePolicy {
                 *partitions
             }
         }
+    }
+}
+
+/// Where one consumer slot of an edge runs, from the building node's point
+/// of view. The same global slot is `Local` on exactly one node and
+/// `Remote` (with that node's page-server address) everywhere else.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConsumerLoc {
+    /// The slot's task runs in this process; delivery is the shared-memory
+    /// queue.
+    Local,
+    /// The slot's task runs on the node whose page server listens at this
+    /// `host:port`; delivery is a TCP page sink.
+    Remote(String),
+}
+
+/// Declarative description of one exchange edge: the output of `stage`.
+#[derive(Debug, Clone)]
+pub struct EdgeSpec {
+    /// Stage whose output this edge carries.
+    pub stage: u32,
+    /// Producer tasks across the whole fleet (every node registers the
+    /// global count, not its local share, so writer accounting agrees on
+    /// all nodes). Excludes the lease slot.
+    pub producers: u32,
+    /// Routing policy; a multi-partition policy must match the consumer
+    /// slot count one-to-one.
+    pub policy: RoutePolicy,
+    /// One entry per consumer slot, globally indexed. Where each lives.
+    pub consumers: Vec<ConsumerLoc>,
+    /// Reserve one extra producer slot for the elasticity controller's
+    /// writer lease (see module docs).
+    pub leased: bool,
+}
+
+impl EdgeSpec {
+    /// An all-local edge with `consumers` consumer slots — the common case
+    /// for single-process execution.
+    pub fn local(stage: u32, producers: u32, policy: RoutePolicy, consumers: u32) -> EdgeSpec {
+        EdgeSpec {
+            stage,
+            producers,
+            policy,
+            consumers: vec![ConsumerLoc::Local; consumers.max(1) as usize],
+            leased: false,
+        }
+    }
+
+    /// Adds the elasticity controller's writer-lease slot.
+    pub fn leased(mut self) -> EdgeSpec {
+        self.leased = true;
+        self
+    }
+}
+
+/// The complete exchange wiring of one query on one node: every edge, plus
+/// the control-channel addresses of the other nodes participating in the
+/// query. [`ExchangeRegistry::build`] consumes this.
+#[derive(Debug, Clone, Default)]
+pub struct ExchangeTopology {
+    /// Query id; remote connections greet with it so the receiving page
+    /// server can find the right registry.
+    pub query: u64,
+    /// Page-server addresses of every *other* node in the query, for
+    /// control broadcasts (producer growth, poison).
+    pub peers: Vec<String>,
+    /// One spec per exchange edge.
+    pub edges: Vec<EdgeSpec>,
+}
+
+impl ExchangeTopology {
+    pub fn new(query: u64) -> ExchangeTopology {
+        ExchangeTopology {
+            query,
+            peers: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds one edge (builder-style).
+    pub fn edge(mut self, spec: EdgeSpec) -> ExchangeTopology {
+        self.edges.push(spec);
+        self
+    }
+
+    /// Adds one peer node's page-server address (builder-style).
+    pub fn peer(mut self, addr: impl Into<String>) -> ExchangeTopology {
+        self.peers.push(addr.into());
+        self
+    }
+}
+
+/// Aggregate transfer statistics of a registry (all edges).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExchangeStats {
+    /// Data pages that entered exchange buffers.
+    pub pages: u64,
+    /// Bytes that entered exchange buffers.
+    pub bytes: u64,
+    /// Consumer-side elastic capacity growths across all buffers.
+    pub grow_events: u64,
+    /// Largest bounded buffer capacity reached, in pages (0 when every
+    /// buffer ran unbounded, e.g. the serial in-process executor).
+    pub max_capacity: usize,
+}
+
+struct Edge {
+    /// One queue per consumer slot, globally indexed. Remote slots have a
+    /// queue too (unused locally) so indices line up on every node.
+    queues: Vec<Arc<ElasticQueue>>,
+    policy: RoutePolicy,
+    consumers: Vec<ConsumerLoc>,
+}
+
+/// Wires stage output buffers to consumer-task inputs for one query, local
+/// and remote. Built from an [`ExchangeTopology`] — see the module docs.
+pub struct ExchangeRegistry {
+    query: u64,
+    limits: ExchangeLimits,
+    nic: Arc<NicModel>,
+    network: NetworkConfig,
+    peers: Vec<String>,
+    edges: Mutex<HashMap<u32, Arc<Edge>>>,
+    poison: Mutex<Option<AccordionError>>,
+    /// Lazily-opened control channels to `peers`.
+    links: Mutex<HashMap<String, ControlLink>>,
+}
+
+impl ExchangeRegistry {
+    /// Materializes `topology` with the given buffer limits / NIC model —
+    /// how the scheduler hands each query a [`NicModel`] carved out of the
+    /// shared node-level budget (see `accordion_net::nic::NodeNic`).
+    pub fn build(
+        topology: &ExchangeTopology,
+        network: &NetworkConfig,
+        nic: NicModel,
+    ) -> Result<Arc<ExchangeRegistry>> {
+        let registry = ExchangeRegistry {
+            query: topology.query,
+            limits: ExchangeLimits {
+                initial_pages: network.initial_buffer_pages.max(1),
+                max_pages: network.max_buffer_pages,
+            },
+            nic: Arc::new(nic),
+            network: network.clone(),
+            peers: topology.peers.clone(),
+            edges: Mutex::new(HashMap::new()),
+            poison: Mutex::new(None),
+            links: Mutex::new(HashMap::new()),
+        };
+        for spec in &topology.edges {
+            registry.register(spec)?;
+        }
+        Ok(Arc::new(registry))
+    }
+
+    /// Materializes `topology` for serial in-process execution: unbounded
+    /// buffers (a whole stage completes before its consumer starts, so
+    /// bounded pushes would self-deadlock) and a free network.
+    pub fn build_in_process(topology: &ExchangeTopology) -> Result<Arc<ExchangeRegistry>> {
+        let registry = ExchangeRegistry {
+            query: topology.query,
+            limits: ExchangeLimits::unbounded(),
+            nic: Arc::new(NicModel::unlimited()),
+            network: NetworkConfig::unlimited(),
+            peers: topology.peers.clone(),
+            edges: Mutex::new(HashMap::new()),
+            poison: Mutex::new(None),
+            links: Mutex::new(HashMap::new()),
+        };
+        for spec in &topology.edges {
+            registry.register(spec)?;
+        }
+        Ok(Arc::new(registry))
+    }
+
+    /// The query this registry belongs to (HELLO id of its remote frames).
+    pub fn query(&self) -> u64 {
+        self.query
+    }
+
+    fn register(&self, spec: &EdgeSpec) -> Result<()> {
+        if spec.consumers.is_empty() {
+            return Err(AccordionError::Execution(format!(
+                "stage {} edge declares no consumer slots",
+                spec.stage
+            )));
+        }
+        let partitions = spec.policy.partition_count();
+        if partitions > 1 && partitions as usize != spec.consumers.len() {
+            return Err(AccordionError::Execution(format!(
+                "stage {} routes {partitions} partitions to {} consumer slots",
+                spec.stage,
+                spec.consumers.len()
+            )));
+        }
+        let producers = spec.producers + u32::from(spec.leased);
+        let queues: Vec<Arc<ElasticQueue>> = spec
+            .consumers
+            .iter()
+            .map(|_| Arc::new(ElasticQueue::new(self.limits, producers)))
+            .collect();
+        let mut edges = self.edges.lock();
+        if edges.contains_key(&spec.stage) {
+            return Err(AccordionError::Internal(format!(
+                "stage {} exchange registered twice",
+                spec.stage
+            )));
+        }
+        // Poison check and insert happen under the edges lock: a concurrent
+        // poison() either sets the flag before this check (queues poisoned
+        // here) or blocks on the edges lock and poisons them in its sweep —
+        // an edge registered mid-failure can never slip through clean.
+        // (poison() never holds its flag lock while taking the edges lock,
+        // so this nesting cannot deadlock.)
+        if let Some(e) = self.poison.lock().as_ref() {
+            for q in &queues {
+                q.poison(e.clone());
+            }
+        }
+        edges.insert(
+            spec.stage,
+            Arc::new(Edge {
+                queues,
+                policy: spec.policy.clone(),
+                consumers: spec.consumers.clone(),
+            }),
+        );
+        Ok(())
+    }
+
+    fn edge(&self, stage: u32) -> Result<Arc<Edge>> {
+        self.edges.lock().get(&stage).cloned().ok_or_else(|| {
+            AccordionError::Execution(format!("stage {stage} has no registered exchange"))
+        })
+    }
+
+    /// The ingress queues of `stage`'s edge — how the node's page server
+    /// feeds remotely-produced pages into local consumers.
+    pub(crate) fn edge_queues(&self, stage: u32) -> Result<Vec<Arc<ElasticQueue>>> {
+        Ok(self.edge(stage)?.queues.clone())
+    }
+
+    /// Writer endpoint for producer task `task` of `stage`. `gate` is the
+    /// scheduler's compute-slot semaphore, yielded while blocked.
+    pub fn writer(
+        self: &Arc<Self>,
+        stage: u32,
+        task: u32,
+        gate: Option<Arc<Semaphore>>,
+    ) -> Result<Box<dyn ExchangeWriter>> {
+        let edge = self.edge(stage)?;
+        Ok(Box::new(EdgeWriter {
+            registry: self.clone(),
+            stage,
+            queues: edge.queues.clone(),
+            consumers: edge.consumers.clone(),
+            policy: edge.policy.clone(),
+            // Stagger round-robin starts by producer task so the stage's
+            // combined output spreads across consumers even when every task
+            // emits few pages.
+            rr_next: task as usize,
+            nic: self.nic.clone(),
+            gate,
+            finished: false,
+            sinks: HashMap::new(),
+        }))
+    }
+
+    /// Reader endpoint for consumer task `consumer` of `stage`'s output.
+    /// The slot must be [`ConsumerLoc::Local`] on this node.
+    pub fn reader(
+        &self,
+        stage: u32,
+        consumer: u32,
+        gate: Option<Arc<Semaphore>>,
+    ) -> Result<Box<dyn ExchangeReader>> {
+        let edge = self.edge(stage)?;
+        let queue = edge.queues.get(consumer as usize).cloned().ok_or_else(|| {
+            AccordionError::Execution(format!(
+                "stage {stage} has {} consumer slots, task {consumer} requested",
+                edge.queues.len()
+            ))
+        })?;
+        if let Some(ConsumerLoc::Remote(host)) = edge.consumers.get(consumer as usize) {
+            return Err(AccordionError::Execution(format!(
+                "consumer slot {consumer} of stage {stage} lives on {host}, not this node"
+            )));
+        }
+        Ok(Box::new(EdgeReader { queue, gate }))
+    }
+
+    /// Re-registers the output edge of `stage` at a larger producer count —
+    /// on this node **and every peer**: remote registries must acknowledge
+    /// before this returns, so a grown task's pages (or its end frame,
+    /// racing ahead on a different connection) can never reach a node that
+    /// does not yet account for its writer. Routing is DOP-stable —
+    /// hash/round-robin partitioning depends only on the (unchanged)
+    /// consumer count — so grown producers need no repartitioning.
+    ///
+    /// The caller must hold an unfinished writer on the edge (the
+    /// controller's lease): adding producers to an edge whose consumers
+    /// already saw the end page would lose every page the new tasks push.
+    pub fn add_producers(&self, stage: u32, n: u32) -> Result<()> {
+        self.add_producers_local(stage, n)?;
+        let mut links = self.links.lock();
+        for peer in &self.peers {
+            self.link(&mut links, peer)?.add_producers(stage, n)?;
+        }
+        Ok(())
+    }
+
+    /// Applies a producer-count growth to this node's queues only — the
+    /// page server calls this when a peer's growth broadcast arrives.
+    pub fn add_producers_local(&self, stage: u32, n: u32) -> Result<()> {
+        let edge = self.edge(stage)?;
+        for q in &edge.queues {
+            q.add_writers(n);
+        }
+        Ok(())
+    }
+
+    /// Producer slots of `stage`'s output edge that have not finished yet
+    /// (including a held writer lease). The elasticity controller polls
+    /// this to detect a stage whose tasks all ended early — e.g. every
+    /// task's LIMIT was satisfied mid-scan — with splits still unclaimed:
+    /// once only the lease remains, nothing will ever claim again and the
+    /// stage must be finished.
+    ///
+    /// Only queues of **local** consumer slots are consulted: those receive
+    /// every producer's finish (local finishes directly, remote ones via
+    /// FINISH frames), while the placeholder queues of remote slots only
+    /// ever see local finishes and would over-count.
+    pub fn producers_remaining(&self, stage: u32) -> Result<u32> {
+        let edge = self.edge(stage)?;
+        let local_max = edge
+            .queues
+            .iter()
+            .zip(&edge.consumers)
+            .filter(|(_, loc)| matches!(loc, ConsumerLoc::Local))
+            .map(|(q, _)| q.writers())
+            .max();
+        Ok(match local_max {
+            Some(n) => n,
+            // No local slot: fall back to the placeholder queues (their
+            // local-only count is still an upper bound).
+            None => edge.queues.iter().map(|q| q.writers()).max().unwrap_or(0),
+        })
+    }
+
+    /// Fails every buffer of every edge with `err` (first poison wins),
+    /// unwinding all tasks blocked on — or about to touch — an exchange.
+    /// The first poison is also broadcast (best-effort) to every peer node,
+    /// so remote tasks of the query unwind too.
+    pub fn poison(&self, err: AccordionError) {
+        let first = self.poison_local(err.clone());
+        if first && !self.peers.is_empty() {
+            let msg = err.to_string();
+            let mut links = self.links.lock();
+            for peer in &self.peers {
+                // Best-effort: an unreachable peer is already failing.
+                if let Ok(link) = self.link(&mut links, peer) {
+                    let _ = link.poison(&msg);
+                }
+            }
+        }
+    }
+
+    /// Applies a poison to this node only (no re-broadcast — the page
+    /// server calls this when a peer's poison arrives, and echoing it back
+    /// would ping-pong forever). Returns whether this was the first poison.
+    pub fn poison_local(&self, err: AccordionError) -> bool {
+        let first = {
+            let mut p = self.poison.lock();
+            if p.is_none() {
+                *p = Some(err.clone());
+                true
+            } else {
+                false
+            }
+        };
+        for edge in self.edges.lock().values() {
+            for q in &edge.queues {
+                q.poison(err.clone());
+            }
+        }
+        first
+    }
+
+    /// The first error this registry was poisoned with, if any.
+    pub fn poison_error(&self) -> Option<AccordionError> {
+        self.poison.lock().clone()
+    }
+
+    /// The lazily-connected control link to `peer` (caller holds the lock).
+    fn link<'a>(
+        &self,
+        links: &'a mut HashMap<String, ControlLink>,
+        peer: &str,
+    ) -> Result<&'a mut ControlLink> {
+        if !links.contains_key(peer) {
+            let link = ControlLink::connect(peer, self.query, &self.network)?;
+            links.insert(peer.to_string(), link);
+        }
+        Ok(links.get_mut(peer).expect("just inserted"))
+    }
+
+    /// Aggregate transfer statistics across all edges.
+    pub fn stats(&self) -> ExchangeStats {
+        let mut s = ExchangeStats::default();
+        for edge in self.edges.lock().values() {
+            for q in &edge.queues {
+                s.pages += q.pages_in();
+                s.bytes += q.bytes_in();
+                s.grow_events += q.grow_events();
+                let cap = q.capacity();
+                // Effectively-unbounded buffers (serial in-process mode)
+                // would make "largest capacity reached" meaningless.
+                if cap != usize::MAX {
+                    s.max_capacity = s.max_capacity.max(cap);
+                }
+            }
+        }
+        s
     }
 }
 
@@ -128,251 +571,69 @@ pub fn route_page(
     Ok(())
 }
 
-/// Aggregate transfer statistics of a registry (all edges).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ExchangeStats {
-    /// Data pages that entered exchange buffers.
-    pub pages: u64,
-    /// Bytes that entered exchange buffers.
-    pub bytes: u64,
-    /// Consumer-side elastic capacity growths across all buffers.
-    pub grow_events: u64,
-    /// Largest bounded buffer capacity reached, in pages (0 when every
-    /// buffer ran unbounded, e.g. the serial in-process executor).
-    pub max_capacity: usize,
-}
-
-struct Edge {
-    /// One queue per consumer task.
-    queues: Vec<Arc<ElasticQueue>>,
-    policy: RoutePolicy,
-}
-
-/// Wires stage output buffers to consumer-task inputs for one query.
-pub struct ExchangeRegistry {
-    limits: ExchangeLimits,
-    nic: Arc<NicModel>,
-    edges: Mutex<HashMap<u32, Arc<Edge>>>,
-    poison: Mutex<Option<AccordionError>>,
-}
-
-impl ExchangeRegistry {
-    /// A registry with the given buffer limits and network model.
-    pub fn new(network: &NetworkConfig) -> Self {
-        ExchangeRegistry::with_nic(network, NicModel::new(network))
-    }
-
-    /// A registry reusing a prebuilt network model — how the scheduler
-    /// hands each query a [`NicModel`] carved out of the shared node-level
-    /// budget (see `accordion_net::nic::NodeNic`).
-    pub fn with_nic(network: &NetworkConfig, nic: NicModel) -> Self {
-        ExchangeRegistry {
-            limits: ExchangeLimits {
-                initial_pages: network.initial_buffer_pages.max(1),
-                max_pages: network.max_buffer_pages,
-            },
-            nic: Arc::new(nic),
-            edges: Mutex::new(HashMap::new()),
-            poison: Mutex::new(None),
-        }
-    }
-
-    /// A registry for serial in-process execution: unbounded buffers (a
-    /// whole stage completes before its consumer starts, so bounded pushes
-    /// would self-deadlock) and a free network.
-    pub fn in_process() -> Self {
-        ExchangeRegistry {
-            limits: ExchangeLimits::unbounded(),
-            nic: Arc::new(NicModel::unlimited()),
-            edges: Mutex::new(HashMap::new()),
-            poison: Mutex::new(None),
-        }
-    }
-
-    /// Registers the output edge of `stage`: `producers` writer tasks
-    /// routing by `policy` into one queue per consumer task. A
-    /// multi-partition policy must match the consumer count one-to-one or
-    /// rows would be silently dropped or duplicated.
-    pub fn register(
-        &self,
-        stage: u32,
-        producers: u32,
-        policy: RoutePolicy,
-        consumers: u32,
-    ) -> Result<()> {
-        let partitions = policy.partition_count();
-        if partitions > 1 && partitions != consumers {
-            return Err(AccordionError::Execution(format!(
-                "stage {stage} routes {partitions} partitions to {consumers} consumer tasks"
-            )));
-        }
-        let queues: Vec<Arc<ElasticQueue>> = (0..consumers.max(1))
-            .map(|_| Arc::new(ElasticQueue::new(self.limits, producers)))
-            .collect();
-        let mut edges = self.edges.lock();
-        if edges.contains_key(&stage) {
-            return Err(AccordionError::Internal(format!(
-                "stage {stage} exchange registered twice"
-            )));
-        }
-        // Poison check and insert happen under the edges lock: a concurrent
-        // poison() either sets the flag before this check (queues poisoned
-        // here) or blocks on the edges lock and poisons them in its sweep —
-        // an edge registered mid-failure can never slip through clean.
-        // (poison() never holds its flag lock while taking the edges lock,
-        // so this nesting cannot deadlock.)
-        if let Some(e) = self.poison.lock().as_ref() {
-            for q in &queues {
-                q.poison(e.clone());
-            }
-        }
-        edges.insert(stage, Arc::new(Edge { queues, policy }));
-        Ok(())
-    }
-
-    fn edge(&self, stage: u32) -> Result<Arc<Edge>> {
-        self.edges.lock().get(&stage).cloned().ok_or_else(|| {
-            AccordionError::Execution(format!("stage {stage} has no registered exchange"))
-        })
-    }
-
-    /// Writer endpoint for producer task `task` of `stage`. `gate` is the
-    /// scheduler's compute-slot semaphore, yielded while blocked.
-    pub fn writer(
-        &self,
-        stage: u32,
-        task: u32,
-        gate: Option<Arc<Semaphore>>,
-    ) -> Result<Box<dyn ExchangeWriter>> {
-        let edge = self.edge(stage)?;
-        Ok(Box::new(EdgeWriter {
-            queues: edge.queues.clone(),
-            policy: edge.policy.clone(),
-            // Stagger round-robin starts by producer task so the stage's
-            // combined output spreads across consumers even when every task
-            // emits few pages.
-            rr_next: task as usize,
-            nic: self.nic.clone(),
-            gate,
-            finished: false,
-        }))
-    }
-
-    /// Reader endpoint for consumer task `consumer` of `stage`'s output.
-    pub fn reader(
-        &self,
-        stage: u32,
-        consumer: u32,
-        gate: Option<Arc<Semaphore>>,
-    ) -> Result<Box<dyn ExchangeReader>> {
-        let edge = self.edge(stage)?;
-        let queue = edge.queues.get(consumer as usize).cloned().ok_or_else(|| {
-            AccordionError::Execution(format!(
-                "stage {stage} has {} consumer queues, task {consumer} requested",
-                edge.queues.len()
-            ))
-        })?;
-        Ok(Box::new(EdgeReader { queue, gate }))
-    }
-
-    /// Re-registers the output edge of `stage` at a larger producer count:
-    /// adds `n` writer slots to every consumer queue, so endpoints handed
-    /// out by [`ExchangeRegistry::writer`] for the new tasks contribute to
-    /// the same edge. Routing is DOP-stable — hash/round-robin partitioning
-    /// depends only on the (unchanged) consumer count — so grown producers
-    /// need no repartitioning.
-    ///
-    /// The caller must hold an unfinished writer on the edge (the
-    /// controller's lease): adding producers to an edge whose consumers
-    /// already saw the end page would lose every page the new tasks push.
-    pub fn add_producers(&self, stage: u32, n: u32) -> Result<()> {
-        let edge = self.edge(stage)?;
-        for q in &edge.queues {
-            q.add_writers(n);
-        }
-        Ok(())
-    }
-
-    /// Producer slots of `stage`'s output edge that have not finished yet
-    /// (including a held writer lease). The elasticity controller polls
-    /// this to detect a stage whose tasks all ended early — e.g. every
-    /// task's LIMIT was satisfied mid-scan — with splits still unclaimed:
-    /// once only the lease remains, nothing will ever claim again and the
-    /// stage must be finished.
-    pub fn producers_remaining(&self, stage: u32) -> Result<u32> {
-        let edge = self.edge(stage)?;
-        Ok(edge.queues.iter().map(|q| q.writers()).max().unwrap_or(0))
-    }
-
-    /// Fails every buffer of every edge with `err` (first poison wins),
-    /// unwinding all tasks blocked on — or about to touch — an exchange.
-    pub fn poison(&self, err: AccordionError) {
-        {
-            let mut p = self.poison.lock();
-            if p.is_none() {
-                *p = Some(err.clone());
-            }
-        }
-        for edge in self.edges.lock().values() {
-            for q in &edge.queues {
-                q.poison(err.clone());
-            }
-        }
-    }
-
-    /// The first error this registry was poisoned with, if any.
-    pub fn poison_error(&self) -> Option<AccordionError> {
-        self.poison.lock().clone()
-    }
-
-    /// Aggregate transfer statistics across all edges.
-    pub fn stats(&self) -> ExchangeStats {
-        let mut s = ExchangeStats::default();
-        for edge in self.edges.lock().values() {
-            for q in &edge.queues {
-                s.pages += q.pages_in();
-                s.bytes += q.bytes_in();
-                s.grow_events += q.grow_events();
-                let cap = q.capacity();
-                // Effectively-unbounded buffers (serial in-process mode)
-                // would make "largest capacity reached" meaningless.
-                if cap != usize::MAX {
-                    s.max_capacity = s.max_capacity.max(cap);
-                }
-            }
-        }
-        s
-    }
-}
-
-/// Routes one producer task's pages into the edge's consumer queues.
+/// Routes one producer task's pages into the edge's consumer slots —
+/// local slots through their shared-memory queues, remote slots through
+/// lazily-opened per-node page sinks.
 struct EdgeWriter {
+    registry: Arc<ExchangeRegistry>,
+    stage: u32,
     queues: Vec<Arc<ElasticQueue>>,
+    consumers: Vec<ConsumerLoc>,
     policy: RoutePolicy,
     rr_next: usize,
     nic: Arc<NicModel>,
     gate: Option<Arc<Semaphore>>,
     finished: bool,
+    /// One page sink per remote node this writer has delivered to.
+    sinks: HashMap<String, PageSink>,
 }
 
 impl EdgeWriter {
-    fn finish(&mut self, reason: EndReason) {
-        if !self.finished {
-            self.finished = true;
-            for q in &self.queues {
-                q.writer_finished(reason);
+    /// Closes this producer's contribution: decrements the writer count of
+    /// every local queue directly, and of every remote node hosting a
+    /// consumer slot via a FINISH frame (connecting if this writer never
+    /// routed data there — the remote accounting needs the frame
+    /// regardless). Idempotent.
+    fn finish(&mut self, reason: EndReason) -> Result<()> {
+        if self.finished {
+            return Ok(());
+        }
+        self.finished = true;
+        for q in &self.queues {
+            q.writer_finished(reason);
+        }
+        let hosts: BTreeSet<&String> = self
+            .consumers
+            .iter()
+            .filter_map(|loc| match loc {
+                ConsumerLoc::Local => None,
+                ConsumerLoc::Remote(host) => Some(host),
+            })
+            .collect();
+        let mut result = Ok(());
+        for host in hosts {
+            let outcome = match self.sinks.get_mut(host) {
+                Some(sink) => sink.finish(reason),
+                None => PageSink::connect(
+                    host,
+                    self.registry.query(),
+                    self.stage,
+                    &self.registry.network,
+                )
+                .and_then(|mut sink| sink.finish(reason)),
+            };
+            if let Err(e) = outcome {
+                result = Err(e);
             }
         }
+        result
     }
 }
 
 impl ExchangeWriter for EdgeWriter {
     fn push(&mut self, page: Page) -> Result<()> {
         let page = match page {
-            Page::End(e) => {
-                self.finish(e.reason);
-                return Ok(());
-            }
+            Page::End(e) => return self.finish(e.reason),
             Page::Data(p) => p,
         };
         if self.finished {
@@ -380,25 +641,47 @@ impl ExchangeWriter for EdgeWriter {
                 "exchange writer pushed after its end page".into(),
             ));
         }
-        let queues = &self.queues;
-        let nic = &self.nic;
-        let gate = self.gate.as_deref();
+        let EdgeWriter {
+            registry,
+            stage,
+            queues,
+            consumers,
+            policy,
+            rr_next,
+            nic,
+            gate,
+            sinks,
+            ..
+        } = self;
+        let gate = gate.as_deref();
         // The NIC is charged per delivered copy — a broadcast to N consumers
         // puts N pages on the simulated fabric, matching ExchangeStats — but
-        // only for live destinations: a closed queue (its consumer stopped
-        // pulling) costs nothing and the copy is simply not sent.
+        // only for live destinations: a closed local queue (its consumer
+        // stopped pulling) costs nothing and the copy is simply not sent.
         route_page(
             &page,
-            &self.policy,
-            &mut self.rr_next,
+            policy,
+            rr_next,
             queues.len(),
-            &mut |sink, piece| {
-                let q = &queues[sink];
-                if q.is_closed() {
-                    return Ok(());
+            &mut |slot, piece| match &consumers[slot] {
+                ConsumerLoc::Local => {
+                    let q = &queues[slot];
+                    if q.is_closed() {
+                        return Ok(());
+                    }
+                    nic.charge(piece.byte_size(), gate);
+                    q.push(piece, gate)
                 }
-                nic.charge(piece.byte_size(), gate);
-                q.push(piece, gate)
+                ConsumerLoc::Remote(host) => {
+                    nic.charge(piece.byte_size(), gate);
+                    if !sinks.contains_key(host) {
+                        let sink =
+                            PageSink::connect(host, registry.query(), *stage, &registry.network)?;
+                        sinks.insert(host.clone(), sink);
+                    }
+                    let sink = sinks.get_mut(host).expect("just inserted");
+                    sink.send_data(slot as u32, &piece, gate)
+                }
             },
         )
     }
@@ -406,10 +689,13 @@ impl ExchangeWriter for EdgeWriter {
 
 impl Drop for EdgeWriter {
     /// Safety net: a writer dropped without an end page (task error or bug)
-    /// must not leave consumers waiting forever. Errors additionally poison
-    /// the registry, which overrides this graceful close.
+    /// must not leave consumers waiting forever. A failed remote finish
+    /// poisons the registry — the query cannot terminate cleanly once a
+    /// node's writer accounting is short one end frame.
     fn drop(&mut self) {
-        self.finish(EndReason::UpstreamFinished);
+        if let Err(e) = self.finish(EndReason::UpstreamFinished) {
+            self.registry.poison(e);
+        }
     }
 }
 
@@ -440,8 +726,12 @@ mod tests {
     use accordion_data::column::Column;
     use accordion_data::page::DataPage;
 
-    fn registry() -> ExchangeRegistry {
-        ExchangeRegistry::in_process()
+    fn registry_with(edges: Vec<EdgeSpec>) -> Arc<ExchangeRegistry> {
+        let mut t = ExchangeTopology::new(1);
+        for e in edges {
+            t = t.edge(e);
+        }
+        ExchangeRegistry::build_in_process(&t).unwrap()
     }
 
     fn page(keys: Vec<i64>) -> Page {
@@ -462,8 +752,7 @@ mod tests {
 
     #[test]
     fn gather_merges_all_producers() {
-        let r = registry();
-        r.register(1, 2, RoutePolicy::Single, 1).unwrap();
+        let r = registry_with(vec![EdgeSpec::local(1, 2, RoutePolicy::Single, 1)]);
         let mut w0 = r.writer(1, 0, None).unwrap();
         let mut w1 = r.writer(1, 1, None).unwrap();
         w0.push(page(vec![1, 2])).unwrap();
@@ -478,8 +767,7 @@ mod tests {
 
     #[test]
     fn single_partition_broadcasts_to_every_consumer() {
-        let r = registry();
-        r.register(1, 1, RoutePolicy::Single, 3).unwrap();
+        let r = registry_with(vec![EdgeSpec::local(1, 1, RoutePolicy::Single, 3)]);
         let mut w = r.writer(1, 0, None).unwrap();
         w.push(page(vec![7, 8])).unwrap();
         w.push(Page::end(EndReason::UpstreamFinished)).unwrap();
@@ -491,8 +779,7 @@ mod tests {
 
     #[test]
     fn hash_routing_is_deterministic_and_complete() {
-        let r = registry();
-        r.register(
+        let r = registry_with(vec![EdgeSpec::local(
             1,
             1,
             RoutePolicy::Hash {
@@ -500,8 +787,7 @@ mod tests {
                 partitions: 2,
             },
             2,
-        )
-        .unwrap();
+        )]);
         let mut w = r.writer(1, 0, None).unwrap();
         w.push(page((0..100).collect())).unwrap();
         w.push(Page::end(EndReason::UpstreamFinished)).unwrap();
@@ -524,9 +810,12 @@ mod tests {
 
     #[test]
     fn round_robin_deals_pages() {
-        let r = registry();
-        r.register(1, 1, RoutePolicy::RoundRobin { partitions: 2 }, 2)
-            .unwrap();
+        let r = registry_with(vec![EdgeSpec::local(
+            1,
+            1,
+            RoutePolicy::RoundRobin { partitions: 2 },
+            2,
+        )]);
         let mut w = r.writer(1, 0, None).unwrap();
         w.push(page(vec![1])).unwrap();
         w.push(page(vec![2])).unwrap();
@@ -542,9 +831,12 @@ mod tests {
     fn round_robin_staggers_across_producer_tasks() {
         // Two producers, one page each: without per-task staggering both
         // pages would land on queue 0.
-        let r = registry();
-        r.register(1, 2, RoutePolicy::RoundRobin { partitions: 2 }, 2)
-            .unwrap();
+        let r = registry_with(vec![EdgeSpec::local(
+            1,
+            2,
+            RoutePolicy::RoundRobin { partitions: 2 },
+            2,
+        )]);
         let mut w0 = r.writer(1, 0, None).unwrap();
         let mut w1 = r.writer(1, 1, None).unwrap();
         w0.push(page(vec![1])).unwrap();
@@ -559,8 +851,7 @@ mod tests {
 
     #[test]
     fn broadcast_charges_stats_per_copy() {
-        let r = registry();
-        r.register(1, 1, RoutePolicy::Single, 3).unwrap();
+        let r = registry_with(vec![EdgeSpec::local(1, 1, RoutePolicy::Single, 3)]);
         let mut w = r.writer(1, 0, None).unwrap();
         w.push(page(vec![1, 2])).unwrap();
         w.push(Page::end(EndReason::UpstreamFinished)).unwrap();
@@ -574,8 +865,7 @@ mod tests {
 
     #[test]
     fn partition_consumer_mismatch_rejected() {
-        let r = registry();
-        let err = r.register(
+        let topology = ExchangeTopology::new(1).edge(EdgeSpec::local(
             1,
             1,
             RoutePolicy::Hash {
@@ -583,14 +873,13 @@ mod tests {
                 partitions: 3,
             },
             2,
-        );
-        assert!(err.is_err());
+        ));
+        assert!(ExchangeRegistry::build_in_process(&topology).is_err());
     }
 
     #[test]
     fn dropped_writer_closes_edge() {
-        let r = registry();
-        r.register(1, 1, RoutePolicy::Single, 1).unwrap();
+        let r = registry_with(vec![EdgeSpec::local(1, 1, RoutePolicy::Single, 1)]);
         {
             let mut w = r.writer(1, 0, None).unwrap();
             w.push(page(vec![5])).unwrap();
@@ -602,9 +891,9 @@ mod tests {
 
     #[test]
     fn producers_added_mid_stream_extend_the_edge() {
-        let r = registry();
-        // One initial producer plus the controller's writer lease.
-        r.register(1, 2, RoutePolicy::Single, 1).unwrap();
+        // One initial producer; the leased flag reserves the controller's
+        // writer-lease slot.
+        let r = registry_with(vec![EdgeSpec::local(1, 1, RoutePolicy::Single, 1).leased()]);
         let mut w0 = r.writer(1, 0, None).unwrap();
         let mut lease = r.writer(1, u32::MAX, None).unwrap();
         w0.push(page(vec![1])).unwrap();
@@ -629,9 +918,7 @@ mod tests {
 
     #[test]
     fn lease_holds_edge_open_while_producers_finish() {
-        let r = registry();
-        // One real producer + one lease slot.
-        r.register(1, 2, RoutePolicy::Single, 1).unwrap();
+        let r = registry_with(vec![EdgeSpec::local(1, 1, RoutePolicy::Single, 1).leased()]);
         {
             let mut w = r.writer(1, 0, None).unwrap();
             w.push(page(vec![9])).unwrap();
@@ -647,22 +934,60 @@ mod tests {
     }
 
     #[test]
-    fn poison_fails_existing_and_future_edges() {
-        let r = registry();
-        r.register(1, 1, RoutePolicy::Single, 1).unwrap();
+    fn poison_fails_every_edge() {
+        let r = registry_with(vec![
+            EdgeSpec::local(1, 1, RoutePolicy::Single, 1),
+            EdgeSpec::local(2, 1, RoutePolicy::Single, 1),
+        ]);
         r.poison(AccordionError::Execution("boom".into()));
         let mut reader = r.reader(1, 0, None).unwrap();
         assert!(reader.pull().is_err());
-        r.register(2, 1, RoutePolicy::Single, 1).unwrap();
         let mut w = r.writer(2, 0, None).unwrap();
         assert!(w.push(page(vec![1])).is_err());
         assert!(r.poison_error().is_some());
     }
 
     #[test]
+    fn remote_slot_rejects_local_reader() {
+        let spec = EdgeSpec {
+            stage: 1,
+            producers: 1,
+            policy: RoutePolicy::Single,
+            consumers: vec![ConsumerLoc::Local, ConsumerLoc::Remote("10.0.0.9:1".into())],
+            leased: false,
+        };
+        let r = registry_with(vec![spec]);
+        assert!(r.reader(1, 0, None).is_ok());
+        assert!(
+            r.reader(1, 1, None).is_err(),
+            "remote slot is not readable here"
+        );
+    }
+
+    #[test]
+    fn producers_remaining_counts_local_slots_only() {
+        // Slot 0 local, slot 1 remote: the remote placeholder queue never
+        // sees remote finishes, so it must not dominate the count.
+        let spec = EdgeSpec {
+            stage: 1,
+            producers: 2,
+            policy: RoutePolicy::RoundRobin { partitions: 2 },
+            consumers: vec![ConsumerLoc::Local, ConsumerLoc::Remote("10.0.0.9:1".into())],
+            leased: false,
+        };
+        let r = registry_with(vec![spec]);
+        assert_eq!(r.producers_remaining(1).unwrap(), 2);
+        // Simulate a remote producer's FINISH frame: it decrements every
+        // queue on this node (what the page server does on receipt).
+        for q in r.edge_queues(1).unwrap() {
+            q.writer_finished(EndReason::ScanExhausted);
+        }
+        assert_eq!(r.producers_remaining(1).unwrap(), 1);
+    }
+
+    #[test]
     fn stats_count_transfers() {
-        let r = registry();
-        r.register(1, 1, RoutePolicy::Single, 1).unwrap();
+        let r = registry_with(vec![EdgeSpec::local(1, 1, RoutePolicy::Single, 1)]);
         let mut w = r.writer(1, 0, None).unwrap();
         w.push(page(vec![1, 2, 3])).unwrap();
         w.push(Page::end(EndReason::UpstreamFinished)).unwrap();

@@ -17,24 +17,44 @@
 //!   semaphore, keeping bounded buffers deadlock-free on a fixed pool.
 //! * [`nic`] — the token-bucket [`NicModel`] charging every page transfer
 //!   against `NetworkConfig`'s bandwidth cap and link latency.
+//! * [`tcp`] — the real multi-node transport: a per-node
+//!   [`PageServer`] ingesting length-prefixed binary page frames (the
+//!   `accordion_data::wire` codec) into the local queues, and the
+//!   [`PageSink`]s writers open toward remote consumer slots, with a
+//!   credit window mirroring the elastic-buffer backpressure.
+//!
+//! The wiring of a query is declared as an [`ExchangeTopology`]: one
+//! [`EdgeSpec`] per stage output naming where every consumer slot lives
+//! ([`ConsumerLoc`]), so the same registry serves single-process execution
+//! (all slots local) and distributed execution (remote slots reached over
+//! TCP) without the producing or consuming tasks knowing the difference.
 //!
 //! Error handling is cooperative: the scheduler poisons the registry on the
 //! first task failure, which wakes and fails every endpoint so sibling
-//! tasks unwind with the original error.
+//! tasks unwind with the original error; in a distributed run the poison is
+//! broadcast over control channels to every peer node.
 //!
 //! [`ExchangeWriter`]: exchange::ExchangeWriter
 //! [`ExchangeReader`]: exchange::ExchangeReader
 //! [`ExchangeRegistry`]: exchange::ExchangeRegistry
+//! [`ExchangeTopology`]: exchange::ExchangeTopology
+//! [`EdgeSpec`]: exchange::EdgeSpec
+//! [`ConsumerLoc`]: exchange::ConsumerLoc
 //! [`RoutePolicy`]: exchange::RoutePolicy
 //! [`ElasticQueue`]: buffer::ElasticQueue
 //! [`NicModel`]: nic::NicModel
+//! [`PageServer`]: tcp::PageServer
+//! [`PageSink`]: tcp::PageSink
 
 pub mod buffer;
 pub mod exchange;
 pub mod nic;
+pub mod tcp;
 
 pub use buffer::{ElasticQueue, ExchangeLimits};
 pub use exchange::{
-    route_page, ExchangeReader, ExchangeRegistry, ExchangeStats, ExchangeWriter, RoutePolicy,
+    route_page, ConsumerLoc, EdgeSpec, ExchangeReader, ExchangeRegistry, ExchangeStats,
+    ExchangeTopology, ExchangeWriter, RoutePolicy,
 };
 pub use nic::{NicModel, NodeNic, TokenBucket};
+pub use tcp::{PageServer, PageSink, TcpExchangeReader, TcpExchangeWriter};

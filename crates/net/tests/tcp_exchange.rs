@@ -1,0 +1,350 @@
+//! Cross-node exchange over the real TCP transport: two registries in one
+//! process, each fronted by its own `PageServer`, simulating a two-node
+//! fleet. Exercises hybrid local/remote routing, writer accounting via
+//! FINISH frames, credit backpressure, growth broadcasts and poison
+//! propagation.
+
+use std::sync::Arc;
+
+use accordion_common::config::NetworkConfig;
+use accordion_common::AccordionError;
+use accordion_data::column::Column;
+use accordion_data::page::{DataPage, EndReason, Page};
+use accordion_net::{
+    ConsumerLoc, EdgeSpec, ExchangeRegistry, ExchangeTopology, ExchangeWriter, NicModel,
+    PageServer, RoutePolicy, TcpExchangeWriter,
+};
+
+fn page(keys: Vec<i64>) -> Page {
+    Page::data(DataPage::new(vec![Column::from_i64(keys)]))
+}
+
+/// Roomy buffers for the single-threaded tests: writers run to completion
+/// before anyone pulls, so pushes must never block on capacity.
+fn roomy() -> NetworkConfig {
+    NetworkConfig::builder().buffer_pages(64, None).build()
+}
+
+fn drain(reader: &mut dyn accordion_net::ExchangeReader) -> Vec<i64> {
+    let mut out = Vec::new();
+    loop {
+        match reader.pull().unwrap() {
+            Page::End(_) => return out,
+            Page::Data(p) => out.extend(p.column(0).as_i64().unwrap()),
+        }
+    }
+}
+
+/// A two-node fleet for one edge: node A owns consumer slot 0 and node B
+/// owns slot 1. Both registries declare the same global edge, each marking
+/// the other node's slot remote.
+struct Fleet {
+    server_a: Arc<PageServer>,
+    server_b: Arc<PageServer>,
+    registry_a: Arc<ExchangeRegistry>,
+    registry_b: Arc<ExchangeRegistry>,
+}
+
+fn fleet(query: u64, producers: u32, policy: RoutePolicy, network: &NetworkConfig) -> Fleet {
+    let server_a = PageServer::bind("127.0.0.1:0").unwrap();
+    let server_b = PageServer::bind("127.0.0.1:0").unwrap();
+    let addr_a = server_a.local_addr();
+    let addr_b = server_b.local_addr();
+    let spec = |mine: usize, other: &str| EdgeSpec {
+        stage: 1,
+        producers,
+        policy: policy.clone(),
+        consumers: (0..2)
+            .map(|slot| {
+                if slot == mine {
+                    ConsumerLoc::Local
+                } else {
+                    ConsumerLoc::Remote(other.to_string())
+                }
+            })
+            .collect(),
+        leased: false,
+    };
+    let topo_a = ExchangeTopology::new(query)
+        .peer(addr_b.clone())
+        .edge(spec(0, &addr_b));
+    let topo_b = ExchangeTopology::new(query)
+        .peer(addr_a.clone())
+        .edge(spec(1, &addr_a));
+    let registry_a = ExchangeRegistry::build(&topo_a, network, NicModel::unlimited()).unwrap();
+    let registry_b = ExchangeRegistry::build(&topo_b, network, NicModel::unlimited()).unwrap();
+    server_a.register(query, registry_a.clone());
+    server_b.register(query, registry_b.clone());
+    Fleet {
+        server_a,
+        server_b,
+        registry_a,
+        registry_b,
+    }
+}
+
+#[test]
+fn hash_edge_spans_two_nodes_without_loss() {
+    let network = roomy();
+    let f = fleet(
+        7,
+        2,
+        RoutePolicy::Hash {
+            keys: vec![0],
+            partitions: 2,
+        },
+        &network,
+    );
+    // One producer per node, each emitting half the keyspace: every page is
+    // hash-split across the local slot and the remote one.
+    let mut w_a = f.registry_a.writer(1, 0, None).unwrap();
+    let mut w_b = f.registry_b.writer(1, 1, None).unwrap();
+    w_a.push(page((0..50).collect())).unwrap();
+    w_b.push(page((50..100).collect())).unwrap();
+    w_a.push(Page::end(EndReason::ScanExhausted)).unwrap();
+    w_b.push(Page::end(EndReason::ScanExhausted)).unwrap();
+
+    let mut r_a = f.registry_a.reader(1, 0, None).unwrap();
+    let mut r_b = f.registry_b.reader(1, 1, None).unwrap();
+    let got_a = drain(r_a.as_mut());
+    let got_b = drain(r_b.as_mut());
+    assert!(
+        !got_a.is_empty() && !got_b.is_empty(),
+        "both partitions used"
+    );
+    let mut all = got_a.clone();
+    all.extend(&got_b);
+    all.sort_unstable();
+    assert_eq!(
+        all,
+        (0..100).collect::<Vec<_>>(),
+        "no row lost or duplicated"
+    );
+    // Keys are partitioned consistently across nodes: the same key never
+    // lands on both sides.
+    assert!(got_a.iter().all(|k| !got_b.contains(k)));
+
+    f.server_a.shutdown();
+    f.server_b.shutdown();
+}
+
+#[test]
+fn broadcast_reaches_remote_consumers_and_ends_cleanly() {
+    let network = roomy();
+    let f = fleet(8, 1, RoutePolicy::Single, &network);
+    // Single producer on node A broadcasting to both slots.
+    let mut w = f.registry_a.writer(1, 0, None).unwrap();
+    w.push(page(vec![1, 2, 3])).unwrap();
+    w.push(Page::end(EndReason::UpstreamFinished)).unwrap();
+    let mut r_a = f.registry_a.reader(1, 0, None).unwrap();
+    let mut r_b = f.registry_b.reader(1, 1, None).unwrap();
+    assert_eq!(drain(r_a.as_mut()), vec![1, 2, 3]);
+    assert_eq!(drain(r_b.as_mut()), vec![1, 2, 3], "remote copy intact");
+    f.server_a.shutdown();
+    f.server_b.shutdown();
+}
+
+#[test]
+fn remote_producer_with_no_data_still_closes_the_edge() {
+    // Node B's producer ends without routing a single page to node A: the
+    // FINISH frame alone must decrement A's writer accounting, or A's
+    // reader would wait forever.
+    let network = roomy();
+    let f = fleet(9, 2, RoutePolicy::RoundRobin { partitions: 2 }, &network);
+    let mut w_a = f.registry_a.writer(1, 0, None).unwrap();
+    let mut w_b = f.registry_b.writer(1, 1, None).unwrap();
+    w_a.push(page(vec![42])).unwrap(); // rr slot 0 → local on A
+    w_a.push(Page::end(EndReason::ScanExhausted)).unwrap();
+    w_b.push(Page::end(EndReason::ScanExhausted)).unwrap(); // no data at all
+    let mut r_a = f.registry_a.reader(1, 0, None).unwrap();
+    assert_eq!(drain(r_a.as_mut()), vec![42]);
+    f.server_a.shutdown();
+    f.server_b.shutdown();
+}
+
+#[test]
+fn credit_window_survives_a_tight_buffer() {
+    // One-page buffers: the sink's credit window collapses to one frame in
+    // flight, so every page waits for the previous push to be consumed.
+    // 200 pages through that window must all arrive, in order. The edge's
+    // only consumer slot lives on node A; the producer on node B is
+    // remote-only.
+    let network = NetworkConfig::builder().fixed_buffers(1).build();
+    let server_a = PageServer::bind("127.0.0.1:0").unwrap();
+    let topo_a = ExchangeTopology::new(10).edge(EdgeSpec::local(1, 1, RoutePolicy::Single, 1));
+    let registry_a = ExchangeRegistry::build(&topo_a, &network, NicModel::unlimited()).unwrap();
+    server_a.register(10, registry_a.clone());
+    let topo_b = ExchangeTopology::new(10).edge(EdgeSpec {
+        stage: 1,
+        producers: 1,
+        policy: RoutePolicy::Single,
+        consumers: vec![ConsumerLoc::Remote(server_a.local_addr())],
+        leased: false,
+    });
+    let registry_b = ExchangeRegistry::build(&topo_b, &network, NicModel::unlimited()).unwrap();
+    let producer = std::thread::spawn(move || {
+        let mut w = registry_b.writer(1, 0, None).unwrap();
+        for i in 0..200 {
+            w.push(page(vec![i])).unwrap();
+        }
+        w.push(Page::end(EndReason::ScanExhausted)).unwrap();
+    });
+    let mut r_a = registry_a.reader(1, 0, None).unwrap();
+    let got_a = drain(r_a.as_mut());
+    assert_eq!(got_a, (0..200).collect::<Vec<_>>(), "ordered, complete");
+    producer.join().unwrap();
+    server_a.shutdown();
+}
+
+#[test]
+fn add_producers_broadcast_reaches_the_peer() {
+    let network = roomy();
+    let f = fleet(11, 1, RoutePolicy::Single, &network);
+    assert_eq!(f.registry_b.producers_remaining(1).unwrap(), 1);
+    // Growth initiated on node A must be acknowledged by node B before
+    // add_producers returns.
+    f.registry_a.add_producers(1, 2).unwrap();
+    assert_eq!(f.registry_b.producers_remaining(1).unwrap(), 3);
+    assert_eq!(f.registry_a.producers_remaining(1).unwrap(), 3);
+    // All three producers finish (two on A, one grown on B); both readers
+    // see a clean end.
+    for _ in 0..2 {
+        let mut w = f.registry_a.writer(1, 0, None).unwrap();
+        w.push(Page::end(EndReason::ScanExhausted)).unwrap();
+    }
+    let mut w = f.registry_b.writer(1, 2, None).unwrap();
+    w.push(page(vec![5])).unwrap();
+    w.push(Page::end(EndReason::ScanExhausted)).unwrap();
+    let mut r_a = f.registry_a.reader(1, 0, None).unwrap();
+    assert_eq!(drain(r_a.as_mut()), vec![5]);
+    f.server_a.shutdown();
+    f.server_b.shutdown();
+}
+
+#[test]
+fn poison_propagates_across_nodes() {
+    let network = roomy();
+    let f = fleet(12, 2, RoutePolicy::Single, &network);
+    f.registry_a
+        .poison(AccordionError::Execution("node A task failed".into()));
+    // Node B's endpoints must observe the failure (the control broadcast is
+    // synchronous: poison() returns after the frame is written, and the
+    // server applies frames in order per connection — but a fresh
+    // connection races, so poll briefly).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        if f.registry_b.poison_error().is_some() {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "poison never reached node B"
+        );
+        std::thread::yield_now();
+    }
+    let mut r_b = f.registry_b.reader(1, 1, None).unwrap();
+    let err = r_b.pull().unwrap_err();
+    assert!(err.to_string().contains("node A task failed"), "{err}");
+    f.server_a.shutdown();
+    f.server_b.shutdown();
+}
+
+#[test]
+fn standalone_tcp_writer_feeds_a_remote_edge() {
+    // The named transport endpoint: a TcpExchangeWriter with no local
+    // registry at all, pushing into node A's edge from outside.
+    let network = roomy();
+    let server = PageServer::bind("127.0.0.1:0").unwrap();
+    let topo = ExchangeTopology::new(13).edge(EdgeSpec::local(1, 1, RoutePolicy::Single, 1));
+    let registry = ExchangeRegistry::build(&topo, &network, NicModel::unlimited()).unwrap();
+    server.register(13, registry.clone());
+    let mut w = TcpExchangeWriter::connect(
+        &server.local_addr(),
+        13,
+        1,
+        RoutePolicy::Single,
+        1,
+        &network,
+        None,
+    )
+    .unwrap();
+    w.push(page(vec![9, 8, 7])).unwrap();
+    w.push(Page::end(EndReason::ScanExhausted)).unwrap();
+    let mut r = registry.reader(1, 0, None).unwrap();
+    assert_eq!(drain(r.as_mut()), vec![9, 8, 7]);
+    server.shutdown();
+}
+
+#[test]
+fn unknown_query_is_rejected_with_an_error_frame() {
+    let network = NetworkConfig::builder().connect_timeout_ms(2_000).build();
+    let server = PageServer::bind("127.0.0.1:0").unwrap();
+    // No registry registered for query 99: the first send (or the finish)
+    // must surface an error, not hang. The HELLO itself succeeds (the
+    // server replies asynchronously), so push until the ERR lands.
+    let mut w = TcpExchangeWriter::connect(
+        &server.local_addr(),
+        99,
+        1,
+        RoutePolicy::Single,
+        1,
+        &network,
+        None,
+    )
+    .unwrap();
+    let mut failed = false;
+    for i in 0..10_000 {
+        if w.push(page(vec![i])).is_err() {
+            failed = true;
+            break;
+        }
+    }
+    assert!(failed, "unregistered query must fail the producer");
+    server.shutdown();
+}
+
+#[test]
+fn surplus_credit_does_not_lose_the_finish_frame() {
+    // Two local and two remote producers feed one tight consumer slot.
+    // Capacity doubling hands the sinks surplus credit, so they finish with
+    // CREDIT frames still unread on the wire — the FINISH round trip must
+    // drain them, or closing the socket would RST away the server's unread
+    // frames and the edge's writer accounting would never reach zero.
+    let network = NetworkConfig::default();
+    let server = PageServer::bind("127.0.0.1:0").unwrap();
+    let topo_a = ExchangeTopology::new(50).edge(EdgeSpec::local(0, 4, RoutePolicy::Single, 1));
+    let reg_a = ExchangeRegistry::build(&topo_a, &network, NicModel::unlimited()).unwrap();
+    server.register(50, reg_a.clone());
+    let topo_b = ExchangeTopology::new(50).edge(EdgeSpec {
+        stage: 0,
+        producers: 4,
+        policy: RoutePolicy::Single,
+        consumers: vec![ConsumerLoc::Remote(server.local_addr())],
+        leased: false,
+    });
+    let reg_b = ExchangeRegistry::build(&topo_b, &network, NicModel::unlimited()).unwrap();
+    let mut handles = Vec::new();
+    for (task, reg) in [(0u32, &reg_a), (1, &reg_b), (2, &reg_a), (3, &reg_b)] {
+        let reg = reg.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut w = reg.writer(0, task, None).unwrap();
+            for i in 0..20 {
+                w.push(page(vec![i])).unwrap();
+            }
+            w.push(Page::end(EndReason::ScanExhausted)).unwrap();
+        }));
+    }
+    let mut reader = reg_a.reader(0, 0, None).unwrap();
+    let mut rows = 0;
+    loop {
+        match reader.pull().unwrap() {
+            Page::End(_) => break,
+            Page::Data(p) => rows += p.row_count(),
+        }
+    }
+    assert_eq!(rows, 80, "every producer's pages arrived exactly once");
+    for h in handles {
+        h.join().unwrap();
+    }
+    server.shutdown();
+}
